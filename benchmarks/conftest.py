@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the same rows the paper reports.  Default configurations are laptop-scale;
+set ``REPRO_FULL=1`` to run the paper-scale configurations (hours, mostly
+spent in the ~7K-router size classes and the 8K-endpoint simulations).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """True when REPRO_FULL=1 requests paper-scale benchmark runs."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return "paper" if full_scale() else "small"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """pedantic single-shot run: these are experiments, not microbenchmarks."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

@@ -1,0 +1,129 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper artifacts — these quantify why the implementation makes the
+choices it makes:
+
+* BundleFly bundle matchings: the star product's non-residue linear maps
+  (diameter 3, paper-matching average distance) vs naive identity
+  matchings (diameter 4).
+* DragonFly global-link arrangement: circulant vs absolute — Hastings et
+  al. [36] report circulant gives the better bisection bandwidth, which is
+  why the paper (and our DF builder) default to it.
+* Virtual-channel budget: d+1 hop-incremented VCs vs a single channel —
+  with measured (non-blocking) buffers throughput is unchanged, showing the
+  VC scheme is purely a deadlock-freedom mechanism, not a performance one.
+* Valiant bias in UGAL-L: how the adaptive threshold shifts the
+  minimal/Valiant split under congestion.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import run_synthetic_sim
+from repro.graphs.metrics import average_distance, diameter
+from repro.partition import bisection_bandwidth
+from repro.topology import build_bundlefly, build_canonical_dragonfly
+
+
+def test_ablation_bundlefly_matching(benchmark):
+    def run():
+        star = build_bundlefly(13, 3, matching="nonresidue")
+        naive = build_bundlefly(13, 3, matching="identity")
+        return {
+            "star": (diameter(star.graph), average_distance(star.graph)),
+            "naive": (diameter(naive.graph), average_distance(naive.graph)),
+        }
+
+    out = run_once(benchmark, run)
+    print()
+    print(f"non-residue matching: diameter={out['star'][0]}, "
+          f"avg={out['star'][1]:.2f} (paper Table I: 3 / 2.56)")
+    print(f"identity matching:    diameter={out['naive'][0]}, "
+          f"avg={out['naive'][1]:.2f}")
+    assert out["star"][0] == 3
+    assert out["naive"][0] == 4
+    assert out["star"][1] < out["naive"][1]
+
+
+def test_ablation_dragonfly_arrangement(benchmark):
+    def run():
+        rows = {}
+        for arrangement in ("circulant", "absolute"):
+            topo = build_canonical_dragonfly(16, arrangement=arrangement)
+            rows[arrangement] = bisection_bandwidth(
+                topo.graph, repeats=3, seed=0
+            )
+        return rows
+
+    out = run_once(benchmark, run)
+    print()
+    print(f"bisection bandwidth: circulant={out['circulant']}, "
+          f"absolute={out['absolute']} (Hastings et al. [36]: circulant >=)")
+    assert out["circulant"] >= out["absolute"]
+
+
+def test_ablation_vc_budget(benchmark):
+    """VC count does not change delivered throughput with measured buffers."""
+    from repro.routing import RoutingTables, MinimalRouting
+    from repro.sim import NetworkSimulator, SimConfig
+    from repro.topology import build_lps
+
+    def run():
+        topo = build_lps(11, 7)
+        tables = RoutingTables(topo.graph)
+        out = {}
+        for n_vcs in (1, tables.diameter + 1):
+            class FixedVC(MinimalRouting):
+                def required_vcs(self, _n=n_vcs):
+                    return _n
+
+            net = NetworkSimulator(
+                topo, FixedVC(tables, seed=0), SimConfig(concentration=4),
+                tables=tables,
+            )
+            rng = np.random.default_rng(0)
+            for _ in range(2000):
+                s, d = rng.integers(0, net.n_endpoints, 2)
+                if s != d:
+                    net.send(int(s), int(d))
+            out[n_vcs] = net.run().summary()["mean_latency_ns"]
+        return out
+
+    out = run_once(benchmark, run)
+    print()
+    print(f"mean latency by VC count: {out}")
+    vals = list(out.values())
+    assert abs(vals[0] - vals[1]) / vals[0] < 0.2
+
+
+def test_ablation_ugal_bias(benchmark):
+    """Larger Valiant bias -> fewer Valiant diversions at the same load."""
+    from repro.experiments.common import cached_tables
+    from repro.routing import UGALRouting
+    from repro.sim import NetworkSimulator, SimConfig, make_traffic, place_ranks
+    from repro.sim.traffic import OpenLoopSource
+    from repro.topology import build_lps
+
+    def run():
+        topo = build_lps(11, 7)
+        tables = cached_tables(topo)
+        fractions = {}
+        for bias in (0, 10_000_000):
+            routing = UGALRouting(tables, seed=0, bias_bytes=bias)
+            net = NetworkSimulator(topo, routing, SimConfig(concentration=4),
+                                   tables=tables)
+            n_ranks = 256
+            r2e = place_ranks(n_ranks, net.n_endpoints, seed=1)
+            pat = make_traffic("transpose", n_ranks)
+            for rank in range(n_ranks):
+                net.add_open_loop_source(
+                    OpenLoopSource(rank, int(r2e[rank]), pat, r2e, 0.7, 15,
+                                   seed=rank)
+                )
+            fractions[bias] = net.run().summary()["valiant_fraction"]
+        return fractions
+
+    out = run_once(benchmark, run)
+    print()
+    print(f"Valiant fraction by bias: {out}")
+    assert out[10_000_000] <= out[0]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 10 (Ember motifs, UGAL routing)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10
+
+
+def test_fig10_motifs_ugal(benchmark, scale):
+    result = run_once(benchmark, fig10.run, scale=scale)
+    print()
+    print(result.to_text())
+    by = {(r["motif"], r["topology"]): r["speedup_vs_df"] for r in result.rows}
+    # Shape: SpectralFly competitive-or-better on Halo3D-26 and Sweep3D
+    # under UGAL; on FFT it stays within striking distance of DragonFly
+    # (paper: ~90% on the balanced motif) and above SlimFly/BundleFly.
+    assert by[("Halo3D-26", "SpectralFly")] > 0.9
+    assert by[("Sweep3D", "SpectralFly")] > 0.9
+    assert (
+        by[("FFT (balanced)", "SpectralFly")]
+        >= by[("FFT (balanced)", "SlimFly")] - 0.15
+    )

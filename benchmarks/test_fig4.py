@@ -1,0 +1,63 @@
+"""Benchmark: regenerate the four panels of Figure 4."""
+
+from benchmarks.conftest import full_scale, run_once
+from repro.experiments import fig4
+
+
+def test_fig4_design_space(benchmark):
+    max_pq = 300  # the paper's exact sweep
+    result = run_once(benchmark, fig4.run_design_space, max_pq)
+    print()
+    print(f"{len(result.rows)} feasible LPS instances below p,q < {max_pq}")
+    radii = {r["radix"] for r in result.rows}
+    assert len(radii) > 30  # dense radix coverage (no big gaps)
+
+
+def test_fig4_normalized_bisection(benchmark):
+    kw = dict(max_p=12, max_q=14, repeats=3)
+    if full_scale():
+        kw = dict(max_p=24, max_q=20, repeats=3)
+    result = run_once(benchmark, fig4.run_normalized_bisection, **kw)
+    print()
+    print(result.to_text())
+    # Shape: larger radix -> larger normalized bisection (on average).
+    by_radix = {}
+    for r in result.rows:
+        by_radix.setdefault(r["radix"], []).append(r["normalized"])
+    radii = sorted(by_radix)
+    if len(radii) >= 2:
+        assert max(by_radix[radii[-1]]) > min(by_radix[radii[0]])
+
+
+def test_fig4_feasible_sizes(benchmark):
+    result = run_once(benchmark, fig4.run_feasible_sizes, 10_000)
+    print()
+    counts: dict[str, dict[int, int]] = {}
+    for r in result.rows:
+        counts.setdefault(r["family"], {}).setdefault(r["radix"], 0)
+        counts[r["family"]][r["radix"]] += 1
+    summary = {
+        fam: (len(per), max(per.values())) for fam, per in counts.items()
+    }
+    print("family -> (#radix values, max sizes per radix):", summary)
+    # Shape (Fig 4 lower left): SlimFly and DragonFly have exactly ONE
+    # feasible size per radix; LPS offers many sizes at a fixed radix.
+    assert summary["SlimFly"][1] == 1
+    assert summary["DragonFly"][1] == 1
+    assert summary["LPS"][1] >= 3
+
+
+def test_fig4_bisection_comparison(benchmark):
+    classes = (1, 2, 3) if full_scale() else (1, 2)
+    result = run_once(benchmark, fig4.run_bisection_comparison,
+                      classes=classes, repeats=3)
+    print()
+    print(result.to_text())
+    # Shape: per class, LPS and SlimFly far above BundleFly and DragonFly;
+    # LPS normalized bisection at least SlimFly-competitive.
+    for cid in classes:
+        rows = {r["topology"].split("(")[0]: r for r in result.rows
+                if r["class"] == cid}
+        lps = rows["LPS"]["normalized"]
+        assert lps > rows["DF"]["normalized"]
+        assert lps > rows["BF"]["normalized"]

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 5 (structural resilience to link failures)."""
+
+from benchmarks.conftest import full_scale, run_once
+from repro.experiments import fig5
+
+
+def test_fig5_link_failures(benchmark):
+    if full_scale():
+        kw = dict(
+            class_id=2,
+            proportions=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
+            max_trials_per_batch=10,
+        )
+    else:
+        kw = dict(
+            class_id=1,
+            proportions=(0.0, 0.1, 0.2, 0.3),
+            max_trials_per_batch=2,
+        )
+    result = run_once(benchmark, fig5.run, **kw)
+    print()
+    print(result.to_text())
+
+    by = {(r["topology"].split("(")[0], r["failed"]): r for r in result.rows}
+    lps_name = "LPS"
+    props = kw["proportions"]
+    # Shape 1: SlimFly's diameter-2 is fragile — it exceeds LPS growth rate
+    # at 10% failures (paper: SF jumps to ~4).
+    assert by[("SF", 0.1)]["diameter"] >= 3
+    # Shape 2: LPS keeps the bisection-bandwidth lead over SlimFly at 0-20%.
+    for p in props[:3]:
+        assert (
+            by[(lps_name, p)]["bisection"] >= 0.8 * by[("SF", p)]["bisection"]
+        )
+    # Shape 3: SlimFly keeps the lowest average hop count.
+    for p in props:
+        assert by[("SF", p)]["avg_hops"] <= by[(lps_name, p)]["avg_hops"] + 0.05

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 6 (UGAL-L speedup vs DragonFly)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6
+
+
+def test_fig6_ugal_speedups(benchmark, scale):
+    loads = (0.1, 0.3, 0.5, 0.7)
+    result = run_once(
+        benchmark,
+        fig6.run,
+        scale=scale,
+        loads=loads,
+        packets_per_rank=15,
+    )
+    print()
+    print(result.to_text())
+
+    # Shape: SpectralFly at or above DragonFly for most (pattern, load)
+    # combinations (the paper shows it best everywhere at 8.7K endpoints;
+    # small-scale runs allow a little noise).
+    sf_rows = [r for r in result.rows if r["topology"] == "SpectralFly"]
+    wins = sum(1 for r in sf_rows if r["speedup_vs_df"] >= 0.95)
+    assert wins >= int(0.7 * len(sf_rows)), (
+        f"SpectralFly >=0.95x DragonFly in only {wins}/{len(sf_rows)} cases"
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7 (minimal routing, random traffic)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7
+
+
+def test_fig7_minimal_random(benchmark, scale):
+    result = run_once(
+        benchmark,
+        fig7.run,
+        scale=scale,
+        loads=(0.1, 0.3, 0.5, 0.7),
+        packets_per_rank=15,
+    )
+    print()
+    print(result.to_text())
+    # Shape: under load, the three low-diameter topologies beat DragonFly.
+    hot = [r for r in result.rows if r["load"] >= 0.5 and r["topology"] != "DragonFly"]
+    assert all(r["speedup_vs_df"] > 1.0 for r in hot)

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 8 (Valiant vs minimal on SpectralFly)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8
+
+
+def test_fig8_valiant_vs_minimal(benchmark, scale):
+    result = run_once(
+        benchmark,
+        fig8.run,
+        scale=scale,
+        loads=(0.1, 0.3, 0.5, 0.7),
+        packets_per_rank=15,
+    )
+    print()
+    print(result.to_text())
+    # Shape (paper): Valiant *hurts* random traffic — minimal paths on LPS
+    # already have the diversity, and Valiant doubles the path length.
+    random_rows = [r for r in result.rows if r["pattern"] == "random"]
+    assert sum(
+        1 for r in random_rows if r["valiant_speedup_vs_minimal"] < 1.0
+    ) >= len(random_rows) - 1

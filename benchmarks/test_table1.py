@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table I (basic structural properties)."""
+
+from benchmarks.conftest import full_scale, run_once
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    classes = (1, 2, 3, 4, 5) if full_scale() else (1, 2, 3)
+    result = run_once(benchmark, table1.run, classes=classes)
+    print()
+    print(result.to_text())
+    # Paper-shape assertions: exact diameters and average distances.
+    for row in result.rows:
+        if "paper_diam" in row:
+            assert row["diameter"] == row["paper_diam"], row["topology"]
+            assert abs(row["avg_distance"] - row["paper_avg"]) <= 0.02
+            assert abs(row["mu1"] - row["paper_mu1"]) <= 0.02

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table II (wire length and energy efficiency)."""
+
+from benchmarks.conftest import full_scale, run_once
+from repro.experiments import table2
+
+
+def test_table2_layout_cost(benchmark):
+    pairs = table2.TABLE2_PAIRS if full_scale() else table2.TABLE2_PAIRS[:2]
+    instances = 5 if full_scale() else 2
+    result = run_once(
+        benchmark, table2.run, pairs=pairs, skywalk_instances=instances
+    )
+    print()
+    print(result.to_text())
+
+    rows = result.rows
+    for i in range(0, len(rows), 2):
+        lps, sf = rows[i], rows[i + 1]
+        # Shape 1: LPS and SlimFly wire lengths within ~15% of each other.
+        assert abs(lps["avg_wire_m"] - sf["avg_wire_m"]) / sf["avg_wire_m"] < 0.15
+        # Shape 2: SkyWalk needs longer average wires than the QAP-laid-out
+        # expander topologies (paper: ~20-30% longer).
+        assert lps["skywalk_avg_wire_m"] > lps["avg_wire_m"]
+        # Shape 3: power per bandwidth within ~35% of each other, LPS
+        # typically at least as efficient (paper: 5-15% better).
+        assert lps["mw_per_gbps"] < 1.35 * sf["mw_per_gbps"]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Deadlock demonstration: why Section V-A's virtual channels matter.
+
+Runs the textbook scenario on a ring with credit-based finite buffers:
+every router forwards clockwise toward an antipodal destination.  With a
+single virtual channel the buffer-wait cycle closes and the network wedges;
+with the paper's hop-incremented VC scheme (d+1 channels) the identical
+workload completes.
+
+Run:  python examples/deadlock_demo.py
+"""
+
+from repro.graphs.generators import cycle_graph
+from repro.routing import RoutingTables
+from repro.routing.algorithms import RoutingPolicy
+from repro.sim import NetworkSimulator, SimConfig
+from repro.topology.base import Topology
+
+
+class ClockwiseRouting(RoutingPolicy):
+    """Deterministic clockwise forwarding — maximally cyclic on a ring."""
+
+    name = "clockwise"
+
+    def __init__(self, tables, n_vcs):
+        super().__init__(tables, seed=0)
+        self._n_vcs = n_vcs
+
+    def required_vcs(self):
+        return self._n_vcs
+
+    def next_hop(self, net, router, pkt):
+        return (router + 1) % self.tables.graph.n
+
+
+def run_ring(n_vcs: int, n: int = 12, packets_per_node: int = 6):
+    topo = Topology(name=f"ring{n}", family="demo", graph=cycle_graph(n))
+    tables = RoutingTables(topo.graph)
+    cfg = SimConfig(
+        concentration=1,
+        finite_buffers=True,
+        buffer_bytes=4096,  # exactly one packet per (link, VC) buffer
+        packet_bytes=4096,
+    )
+    net = NetworkSimulator(topo, ClockwiseRouting(tables, n_vcs), cfg,
+                           tables=tables)
+    for src in range(n):
+        for _ in range(packets_per_node):
+            net.send(src, (src + n // 2) % n)
+    return net.run()
+
+
+def main():
+    n = 12
+    print(f"ring of {n} routers, clockwise routing, 1-packet buffers\n")
+    for n_vcs in (1, 2, n // 2 + 1):
+        stats = run_ring(n_vcs, n=n)
+        s = stats.summary()
+        status = "DEADLOCKED" if stats.deadlocked else "completed"
+        print(
+            f"VCs={n_vcs}: {status}  delivered={s['delivered']}/"
+            f"{stats.n_injected}"
+            + (f"  (stuck packets: {stats.undelivered})" if stats.deadlocked else "")
+        )
+    print(
+        "\nhop-incremented VCs make the channel dependency graph acyclic "
+        "(diameter+1 channels suffice for minimal routing — Section V-A)"
+    )
+
+
+if __name__ == "__main__":
+    main()

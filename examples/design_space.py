@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick a SpectralFly instance for a target system.
+
+Reproduces the Fig. 4 workflow interactively: given a desired router radix
+and system size, list the feasible LPS instances near the target, compare
+with what SlimFly/BundleFly/DragonFly can offer at that radix, and report
+the spectral quality of the chosen instance.
+
+Run:  python examples/design_space.py [radix] [target_routers]
+"""
+
+import sys
+
+from repro import build_lps, lps_design_space, mu1, is_ramanujan
+from repro.spectral.bounds import lps_mu1_guarantee
+from repro.topology import feasible_sizes_per_radix
+
+
+def main(target_radix: int = 12, target_routers: int = 2000):
+    print(f"target: radix ~{target_radix}, ~{target_routers} routers\n")
+
+    # All feasible LPS instances with that radix (p = radix - 1).
+    rows = [
+        r for r in lps_design_space(300, 300) if r["radix"] == target_radix
+    ]
+    rows.sort(key=lambda r: abs(r["vertices"] - target_routers))
+    print(f"{len(rows)} LPS instances with radix {target_radix}; closest five:")
+    for r in rows[:5]:
+        print(
+            f"  LPS({r['p']},{r['q']}): {r['vertices']} routers "
+            f"({abs(r['vertices'] - target_routers)} from target)"
+        )
+
+    # What the competing families offer at (or adjacent to) this radix.
+    print("\ncompeting families at radix within +-1:")
+    feas = feasible_sizes_per_radix(max_vertices=100_000, max_param=300)
+    for fam in ("SlimFly", "BundleFly", "DragonFly"):
+        near = [
+            (k, n) for k, n in feas[fam] if abs(k - target_radix) <= 1
+        ]
+        near.sort(key=lambda kn: abs(kn[1] - target_routers))
+        desc = ", ".join(f"k={k}: {n}" for k, n in near[:4]) or "none"
+        print(f"  {fam:<10} {desc}")
+
+    # Build the winner and verify its spectral quality.
+    best = rows[0]
+    print(f"\nbuilding LPS({best['p']},{best['q']}) ...")
+    topo = build_lps(best["p"], best["q"])
+    print(
+        f"  mu1 = {mu1(topo.graph):.3f} "
+        f"(Ramanujan guarantee {lps_mu1_guarantee(topo.radix):.3f}), "
+        f"Ramanujan: {is_ramanujan(topo.graph)}"
+    )
+
+
+if __name__ == "__main__":
+    radix = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    routers = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+    main(radix, routers)

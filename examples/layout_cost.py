@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Layout & cost study: machine-room wiring, power, and latency.
+
+The Table II / Fig. 11 pipeline as a script: place a SpectralFly/SlimFly
+pair in the computed machine room with the QAP heuristic, report wire
+lengths and the electrical/optical power split, then sweep switch latency
+against a SkyWalk instance in the same room.
+
+Run:  python examples/layout_cost.py
+"""
+
+from repro import (
+    bisection_bandwidth,
+    build_lps,
+    build_skywalk,
+    build_slimfly,
+    layout_topology,
+    power_report,
+)
+from repro.layout import latency_statistics, native_layout
+from repro.layout.machine_room import MachineRoom
+from repro.utils.tables import render_table
+
+
+def main():
+    pair = (build_lps(11, 7), build_slimfly(9))
+    rows = []
+    layouts = {}
+    for topo in pair:
+        layout = layout_topology(topo, seed=0)
+        layouts[topo.name] = layout
+        cut = bisection_bandwidth(topo.graph, repeats=2)
+        rows.append(power_report(layout, cut))
+    print(render_table(rows))
+
+    print("\nlatency vs a SkyWalk instance in the same machine room:")
+    lat_rows = []
+    for topo in pair:
+        room = MachineRoom(topo.n_routers)
+        sky = native_layout(build_skywalk(topo.n_routers, topo.radix, seed=1),
+                            room=room)
+        for s in (0.0, 100.0, 250.0):
+            avg, mx = latency_statistics(layouts[topo.name], s)
+            sky_avg, sky_mx = latency_statistics(sky, s)
+            lat_rows.append(
+                {
+                    "topology": topo.name,
+                    "switch_ns": s,
+                    "avg_ns": round(avg, 1),
+                    "vs_skywalk": round(avg / sky_avg, 3),
+                    "max_ns": round(mx, 1),
+                    "max_vs_skywalk": round(mx / sky_mx, 3),
+                }
+            )
+    print(render_table(lat_rows))
+
+
+if __name__ == "__main__":
+    main()

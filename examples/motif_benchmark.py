@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Application-motif benchmark: Ember-style workloads across topologies.
+
+The Fig. 9/10 experiment as a script: run Halo3D-26, Sweep3D and the two
+FFT decompositions over all four topology families under a chosen routing,
+and print makespans plus speedups relative to DragonFly.
+
+Run:  python examples/motif_benchmark.py [minimal|valiant|ugal]
+"""
+
+import sys
+
+from repro import (
+    FFTMotif,
+    Halo3D26Motif,
+    RoutingTables,
+    SimConfig,
+    Sweep3DMotif,
+    build_bundlefly,
+    build_canonical_dragonfly,
+    build_lps,
+    build_slimfly,
+    make_routing,
+    run_motif,
+)
+from repro.utils.tables import render_table
+
+TOPOLOGIES = {
+    "SpectralFly": (lambda: build_lps(11, 7), 4),
+    "DragonFly": (lambda: build_canonical_dragonfly(12), 4),
+    "SlimFly": (lambda: build_slimfly(9), 4),
+    "BundleFly": (lambda: build_bundlefly(13, 3), 3),
+}
+
+
+def main(routing: str = "minimal"):
+    n_ranks = 512
+    motifs = {
+        "Halo3D-26": Halo3D26Motif((8, 8, 8), iterations=2),
+        "Sweep3D": Sweep3DMotif((16, 16), sweeps=2),
+        "FFT balanced": FFTMotif.balanced(n_ranks),
+        "FFT unbalanced": FFTMotif.unbalanced(n_ranks),
+    }
+    rows = []
+    for motif_name, motif in motifs.items():
+        times = {}
+        for topo_name, (build, conc) in TOPOLOGIES.items():
+            topo = build()
+            tables = RoutingTables(topo.graph)
+            policy = make_routing(routing, tables, seed=0)
+            out = run_motif(topo, policy, motif, SimConfig(concentration=conc),
+                            placement_seed=1)
+            times[topo_name] = out["makespan_ns"]
+        base = times["DragonFly"]
+        row = {"motif": motif_name}
+        for name, t in times.items():
+            row[name] = round(base / t, 2)
+        rows.append(row)
+    print(f"motif speedups vs DragonFly under {routing} routing "
+          f"({n_ranks} ranks):\n")
+    print(render_table(rows))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "minimal")

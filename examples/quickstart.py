@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: build a SpectralFly topology, verify it, and simulate traffic.
+
+Covers the three layers of the library in ~60 lines:
+
+1. construct an LPS (SpectralFly) topology and a DragonFly of similar size;
+2. check the structural/spectral properties the paper is built on;
+3. run a quick uniform-random traffic simulation under UGAL-L routing and
+   compare the two.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    NetworkSimulator,
+    SimConfig,
+    RoutingTables,
+    average_distance,
+    bisection_bandwidth,
+    build_canonical_dragonfly,
+    build_lps,
+    diameter,
+    is_ramanujan,
+    lambda_g,
+    make_routing,
+    make_traffic,
+    mu1,
+    place_ranks,
+    ramanujan_bound,
+)
+from repro.sim.traffic import OpenLoopSource
+
+
+def analyze(topo):
+    g = topo.graph
+    print(f"\n=== {topo.name} ===")
+    print(f"routers={topo.n_routers}  radix={topo.radix}  links={topo.n_links}")
+    print(f"diameter={diameter(g)}  avg distance={average_distance(g):.2f}")
+    print(f"lambda(G)={lambda_g(g):.3f}  (Ramanujan bound {ramanujan_bound(topo.radix):.3f})")
+    print(f"mu1={mu1(g):.3f}  Ramanujan? {is_ramanujan(g)}")
+    print(f"bisection bandwidth (METIS-style estimate): {bisection_bandwidth(g, repeats=2)} links")
+
+
+def simulate(topo, n_ranks=256, load=0.5, concentration=4, seed=0):
+    tables = RoutingTables(topo.graph)
+    routing = make_routing("ugal", tables, seed=seed)
+    net = NetworkSimulator(topo, routing, SimConfig(concentration=concentration),
+                          tables=tables)
+    rank_to_ep = place_ranks(n_ranks, net.n_endpoints, seed=seed)
+    pattern = make_traffic("random", n_ranks)
+    for rank in range(n_ranks):
+        net.add_open_loop_source(
+            OpenLoopSource(rank, int(rank_to_ep[rank]), pattern, rank_to_ep,
+                           offered_load=load, packets_per_rank=20,
+                           seed=seed * 7919 + rank)
+        )
+    s = net.run().summary()
+    print(f"{topo.name}: mean latency {s['mean_latency_ns']:.0f} ns, "
+          f"max {s['max_latency_ns']:.0f} ns, mean hops {s['mean_hops']:.2f}, "
+          f"Valiant fraction {s['valiant_fraction']:.2f}")
+    return s
+
+
+def main():
+    spectralfly = build_lps(11, 7)  # Table I class 1: 168 routers, radix 12
+    dragonfly = build_canonical_dragonfly(12)  # 156 routers, radix 12
+
+    analyze(spectralfly)
+    analyze(dragonfly)
+
+    print("\n=== uniform random traffic @ 50% offered load, UGAL-L ===")
+    s_lps = simulate(spectralfly)
+    s_df = simulate(dragonfly)
+    speedup = s_df["max_latency_ns"] / s_lps["max_latency_ns"]
+    print(f"\nSpectralFly speedup over DragonFly (max message time): {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Resilience study: structural properties under random link failures.
+
+The Fig. 5 experiment as a script: sweep edge-failure proportions on a
+SpectralFly/SlimFly pair and watch the paper's two headline effects —
+SlimFly's fragile diameter-2 (it jumps at 10% failures) and SpectralFly's
+durable bisection-bandwidth lead.
+
+Run:  python examples/resilience_study.py
+"""
+
+import numpy as np
+
+from repro import bisection_bandwidth, build_lps, build_slimfly
+from repro.graphs.failures import delete_random_edges
+from repro.graphs.metrics import average_distance, diameter, is_connected
+from repro.utils.tables import render_table
+
+
+def measure(topo, proportions, trials=3, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for prop in proportions:
+        diams, dists, cuts = [], [], []
+        for _ in range(trials if prop > 0 else 1):
+            g = delete_random_edges(topo.graph, prop, rng)
+            if not is_connected(g):
+                continue
+            diams.append(diameter(g))
+            dists.append(average_distance(g))
+            cuts.append(bisection_bandwidth(g, repeats=1, seed=0))
+        rows.append(
+            {
+                "topology": topo.name,
+                "failed_%": int(prop * 100),
+                "diameter": round(float(np.mean(diams)), 2),
+                "avg_hops": round(float(np.mean(dists)), 2),
+                "bisection": round(float(np.mean(cuts)), 0),
+            }
+        )
+    return rows
+
+
+def main():
+    proportions = (0.0, 0.1, 0.2, 0.3, 0.4)
+    rows = []
+    for topo in (build_lps(11, 7), build_slimfly(9)):
+        rows.extend(measure(topo, proportions))
+    print(render_table(rows))
+    print(
+        "\nexpected: SF diameter jumps from 2 at 10% failures; "
+        "LPS keeps higher bisection throughout"
+    )
+
+
+if __name__ == "__main__":
+    main()

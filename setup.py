@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses pyproject.toml (PEP 517); on machines where that
+fails for lack of a wheel builder, `python setup.py develop` installs the
+same editable package.
+"""
+
+from setuptools import setup
+
+setup()

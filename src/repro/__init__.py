@@ -1,0 +1,113 @@
+"""repro — a from-scratch reproduction of *SpectralFly: Ramanujan Graphs as
+Flexible and Efficient Interconnection Networks* (Young et al., IPDPS 2022).
+
+Public API highlights
+---------------------
+
+Topologies
+    :func:`build_lps` (SpectralFly), :func:`build_slimfly`,
+    :func:`build_bundlefly`, :func:`build_canonical_dragonfly`,
+    :func:`build_dragonfly`, :func:`build_skywalk`, :func:`build_jellyfish`.
+
+Analysis
+    :func:`diameter`, :func:`average_distance`, :func:`girth`,
+    :func:`mu1`, :func:`lambda_g`, :func:`is_ramanujan`,
+    :func:`bisection_bandwidth`.
+
+Simulation
+    :class:`NetworkSimulator`, :class:`SimConfig`, :func:`make_routing`,
+    :func:`make_traffic`, :func:`run_motif` and the Ember-style motifs.
+
+Layout / cost
+    :func:`layout_topology`, :func:`power_report`, :func:`latency_sweep`.
+
+Experiments reproducing each paper table/figure live under
+``repro.experiments`` (also runnable as ``python -m repro.experiments.table1``
+etc.); see DESIGN.md for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.topology import (
+    Topology,
+    build_lps,
+    build_slimfly,
+    build_bundlefly,
+    build_canonical_dragonfly,
+    build_dragonfly,
+    build_skywalk,
+    build_jellyfish,
+    lps_design_space,
+    lps_feasible,
+    lps_num_vertices,
+)
+from repro.graphs import (
+    CSRGraph,
+    average_distance,
+    diameter,
+    girth,
+    is_bipartite,
+    is_connected,
+)
+from repro.spectral import (
+    is_ramanujan,
+    lambda_g,
+    mu1,
+    ramanujan_bound,
+    spectral_gap,
+)
+from repro.partition import bisection_bandwidth
+from repro.routing import RoutingTables, make_routing
+from repro.sim import NetworkSimulator, SimConfig, make_traffic, place_ranks
+from repro.workloads import (
+    FFTMotif,
+    Halo3D26Motif,
+    Sweep3DMotif,
+    run_motif,
+)
+from repro.layout import (
+    latency_sweep,
+    layout_topology,
+    power_report,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Topology",
+    "build_lps",
+    "build_slimfly",
+    "build_bundlefly",
+    "build_canonical_dragonfly",
+    "build_dragonfly",
+    "build_skywalk",
+    "build_jellyfish",
+    "lps_design_space",
+    "lps_feasible",
+    "lps_num_vertices",
+    "CSRGraph",
+    "diameter",
+    "average_distance",
+    "girth",
+    "is_connected",
+    "is_bipartite",
+    "is_ramanujan",
+    "lambda_g",
+    "mu1",
+    "spectral_gap",
+    "ramanujan_bound",
+    "bisection_bandwidth",
+    "RoutingTables",
+    "make_routing",
+    "NetworkSimulator",
+    "SimConfig",
+    "make_traffic",
+    "place_ranks",
+    "Halo3D26Motif",
+    "Sweep3DMotif",
+    "FFTMotif",
+    "run_motif",
+    "layout_topology",
+    "power_report",
+    "latency_sweep",
+    "__version__",
+]

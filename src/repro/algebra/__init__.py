@@ -1,0 +1,31 @@
+"""Finite fields and projective matrix groups.
+
+* :mod:`repro.algebra.gf` — arithmetic in GF(q) for any prime power q
+  (polynomial basis for extensions, discrete-log tables for multiplication).
+* :mod:`repro.algebra.mat2` — vectorised 2x2 matrix arithmetic over prime
+  fields with canonical projective (PGL) representatives.
+* :mod:`repro.algebra.cayley` — a generic Cayley-graph builder by orbit
+  closure (the Elzinga method the paper cites as [28]).
+"""
+
+from repro.algebra.gf import GF
+from repro.algebra.mat2 import (
+    mat_canonicalize,
+    mat_determinant,
+    mat_identity,
+    mat_multiply,
+    pgl2_order,
+    psl2_order,
+)
+from repro.algebra.cayley import cayley_graph_closure
+
+__all__ = [
+    "GF",
+    "mat_multiply",
+    "mat_canonicalize",
+    "mat_determinant",
+    "mat_identity",
+    "pgl2_order",
+    "psl2_order",
+    "cayley_graph_closure",
+]

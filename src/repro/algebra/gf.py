@@ -1,0 +1,254 @@
+"""Arithmetic in finite fields GF(q), q = p^m a prime power.
+
+Elements are represented as integers ``0 .. q-1``.  For prime fields the
+integer *is* the residue; for extension fields the base-``p`` digits of the
+integer are the coefficients of the polynomial representative (little
+endian: digit ``i`` multiplies ``x^i``).
+
+Multiplication uses exp/log tables built from a primitive element, so all
+operations are O(1) and vectorise over numpy arrays.  The topologies that
+need extensions are small (GF(4), GF(9), GF(25), GF(27), ...), so table
+construction cost is negligible; the class supports any q up to a few
+thousand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nt.primes import prime_power_decomposition
+
+
+def _poly_mul_mod(a: list[int], b: list[int], modulus: list[int], p: int) -> list[int]:
+    """Multiply coefficient lists a*b mod (modulus, p). Little-endian lists."""
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai:
+            for j, bj in enumerate(b):
+                out[i + j] = (out[i + j] + ai * bj) % p
+    # Reduce modulo the monic modulus polynomial.
+    deg_m = len(modulus) - 1
+    for i in range(len(out) - 1, deg_m - 1, -1):
+        coef = out[i]
+        if coef:
+            out[i] = 0
+            for j in range(deg_m):
+                out[i - deg_m + j] = (out[i - deg_m + j] - coef * modulus[j]) % p
+    return out[:deg_m] + [0] * max(0, deg_m - len(out))
+
+
+def _is_irreducible(poly: list[int], p: int) -> bool:
+    """Check irreducibility of a monic poly (little-endian, top coeff 1) over F_p.
+
+    Degree is small (<= 4 in practice) so trial division by all monic
+    polynomials of degree <= deg/2 is fine.
+    """
+    deg = len(poly) - 1
+    if deg == 1:
+        return True
+    # No roots in F_p (catches all factors of degree 1).
+    for x in range(p):
+        acc = 0
+        for c in reversed(poly):
+            acc = (acc * x + c) % p
+        if acc == 0:
+            return False
+    if deg <= 3:
+        return True
+    # Trial division by monic irreducibles of degree 2..deg//2 (enumerate all
+    # monic polys; reducible divisors are redundant but harmless).
+    for d in range(2, deg // 2 + 1):
+        for idx in range(p**d):
+            divisor = _int_to_digits(idx, p, d) + [1]
+            if _poly_divides(divisor, poly, p):
+                return False
+    return True
+
+
+def _poly_divides(d: list[int], f: list[int], p: int) -> bool:
+    """Return True iff monic poly d divides f over F_p."""
+    rem = list(f)
+    deg_d = len(d) - 1
+    while len(rem) - 1 >= deg_d:
+        lead = rem[-1]
+        if lead:
+            shift = len(rem) - 1 - deg_d
+            for j in range(len(d)):
+                rem[shift + j] = (rem[shift + j] - lead * d[j]) % p
+        rem.pop()
+        while len(rem) > 1 and rem[-1] == 0:
+            rem.pop()
+        if len(rem) - 1 < deg_d:
+            break
+    return all(c == 0 for c in rem)
+
+
+def _int_to_digits(value: int, p: int, m: int) -> list[int]:
+    digits = []
+    for _ in range(m):
+        digits.append(value % p)
+        value //= p
+    return digits
+
+
+def _digits_to_int(digits: list[int], p: int) -> int:
+    out = 0
+    for d in reversed(digits):
+        out = out * p + d
+    return out
+
+
+class GF:
+    """The finite field GF(q) with vectorised arithmetic on integer codes.
+
+    Parameters
+    ----------
+    q:
+        Field order; must be a prime power.
+
+    Attributes
+    ----------
+    p, m:
+        Characteristic and extension degree (``q == p**m``).
+    primitive:
+        Integer code of a fixed primitive element (generator of GF(q)*).
+    """
+
+    def __init__(self, q: int) -> None:
+        decomp = prime_power_decomposition(q)
+        if decomp is None:
+            raise ParameterError(f"q={q} is not a prime power")
+        self.q = q
+        self.p, self.m = decomp
+        if self.m == 1:
+            self._modulus = None
+        else:
+            self._modulus = self._find_irreducible()
+        self._build_tables()
+
+    # -- construction -----------------------------------------------------
+    def _find_irreducible(self) -> list[int]:
+        """Return a monic irreducible polynomial of degree m over F_p."""
+        p, m = self.p, self.m
+        for idx in range(p**m):
+            poly = _int_to_digits(idx, p, m) + [1]
+            if _is_irreducible(poly, p):
+                return poly
+        raise RuntimeError(f"no irreducible polynomial of degree {m} over F_{p}")
+
+    def _raw_add(self, a: int, b: int) -> int:
+        if self.m == 1:
+            return (a + b) % self.p
+        da = _int_to_digits(a, self.p, self.m)
+        db = _int_to_digits(b, self.p, self.m)
+        return _digits_to_int([(x + y) % self.p for x, y in zip(da, db)], self.p)
+
+    def _raw_mul(self, a: int, b: int) -> int:
+        if self.m == 1:
+            return (a * b) % self.p
+        da = _int_to_digits(a, self.p, self.m)
+        db = _int_to_digits(b, self.p, self.m)
+        return _digits_to_int(_poly_mul_mod(da, db, self._modulus, self.p), self.p)
+
+    def _build_tables(self) -> None:
+        q = self.q
+        add = np.empty((q, q), dtype=np.int32)
+        mul = np.empty((q, q), dtype=np.int32)
+        for a in range(q):
+            for b in range(a, q):
+                s = self._raw_add(a, b)
+                add[a, b] = add[b, a] = s
+                prod = self._raw_mul(a, b)
+                mul[a, b] = mul[b, a] = prod
+        self._add = add
+        self._mul = mul
+        neg = np.empty(q, dtype=np.int32)
+        for a in range(q):
+            # -a is the additive inverse.
+            neg[a] = int(np.flatnonzero(add[a] == 0)[0])
+        self._neg = neg
+        inv = np.zeros(q, dtype=np.int32)
+        for a in range(1, q):
+            inv[a] = int(np.flatnonzero(mul[a] == 1)[0])
+        self._inv = inv
+        self.primitive = self._find_primitive()
+        # exp/log tables for fast pow.
+        exp = np.empty(q - 1, dtype=np.int32)
+        log = np.full(q, -1, dtype=np.int32)
+        acc = 1
+        for i in range(q - 1):
+            exp[i] = acc
+            log[acc] = i
+            acc = int(mul[acc, self.primitive])
+        self._exp, self._log = exp, log
+
+    def _find_primitive(self) -> int:
+        q = self.q
+        for g in range(2 if q > 2 else 1, q):
+            seen = 1
+            acc = g
+            order = 1
+            while acc != 1:
+                acc = int(self._mul[acc, g])
+                order += 1
+                if order > q:
+                    raise RuntimeError("element order overflow; table bug")
+            _ = seen
+            if order == q - 1:
+                return g
+        if q == 2:
+            return 1
+        raise RuntimeError(f"no primitive element found in GF({q})")
+
+    # -- arithmetic (scalar or numpy arrays of codes) ----------------------
+    def add(self, a, b):
+        """Field addition (elementwise on arrays)."""
+        return self._add[a, b]
+
+    def sub(self, a, b):
+        """Field subtraction ``a - b``."""
+        return self._add[a, self._neg[b]]
+
+    def neg(self, a):
+        """Additive inverse."""
+        return self._neg[a]
+
+    def mul(self, a, b):
+        """Field multiplication."""
+        return self._mul[a, b]
+
+    def inv(self, a):
+        """Multiplicative inverse; ``inv(0)`` raises."""
+        if np.any(np.asarray(a) == 0):
+            raise ZeroDivisionError("0 has no inverse in GF(q)")
+        return self._inv[a]
+
+    def pow(self, a: int, e: int) -> int:
+        """Return ``a**e`` (scalar only)."""
+        if a == 0:
+            return 0 if e > 0 else 1
+        if e == 0:
+            return 1
+        lg = int(self._log[a])
+        return int(self._exp[(lg * e) % (self.q - 1)])
+
+    def elements(self) -> np.ndarray:
+        """All field elements as codes ``0 .. q-1``."""
+        return np.arange(self.q, dtype=np.int32)
+
+    def nonzero_squares(self) -> np.ndarray:
+        """The set {x^2 : x in GF(q)*} as a sorted code array."""
+        squares = np.unique(self._mul[np.arange(1, self.q), np.arange(1, self.q)])
+        return squares
+
+    def is_square(self, a: int) -> bool:
+        """Return True iff ``a`` is a square in GF(q) (0 counts as square)."""
+        if a == 0:
+            return True
+        if self.p == 2:
+            return True  # Frobenius is bijective in characteristic 2.
+        return int(self._log[a]) % 2 == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF({self.q})"

@@ -1,0 +1,116 @@
+"""Vectorised 2x2 matrix arithmetic over prime fields F_q.
+
+Matrices are stored row-major as integer arrays of shape ``(..., 4)``:
+``[a, b, c, d]`` represents ``[[a, b], [c, d]]`` with entries in
+``{0, ..., q-1}``.  Projective canonicalisation (dividing by the first
+non-zero entry) gives a unique representative per PGL(2, q) coset, which is
+how LPS vertices are identified during the Cayley-graph closure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nt.modular import mod_inverse
+
+
+def mat_identity(q: int) -> np.ndarray:
+    """Return the identity matrix as a length-4 array mod q."""
+    return np.array([1, 0, 0, 1], dtype=np.int64)
+
+
+def mat_multiply(lhs: np.ndarray, rhs: np.ndarray, q: int) -> np.ndarray:
+    """Multiply batches of 2x2 matrices modulo q.
+
+    ``lhs`` and ``rhs`` broadcast against each other on their leading
+    dimensions; the trailing dimension must be 4.
+    """
+    a1, b1, c1, d1 = (lhs[..., i] for i in range(4))
+    a2, b2, c2, d2 = (rhs[..., i] for i in range(4))
+    out = np.empty(np.broadcast(a1, a2).shape + (4,), dtype=np.int64)
+    out[..., 0] = (a1 * a2 + b1 * c2) % q
+    out[..., 1] = (a1 * b2 + b1 * d2) % q
+    out[..., 2] = (c1 * a2 + d1 * c2) % q
+    out[..., 3] = (c1 * b2 + d1 * d2) % q
+    return out
+
+
+def mat_determinant(mats: np.ndarray, q: int) -> np.ndarray:
+    """Return determinants (mod q) of a batch of matrices."""
+    return (mats[..., 0] * mats[..., 3] - mats[..., 1] * mats[..., 2]) % q
+
+
+def _inverse_table(q: int) -> np.ndarray:
+    """Table of multiplicative inverses mod prime q (index 0 unused)."""
+    table = np.zeros(q, dtype=np.int64)
+    for a in range(1, q):
+        table[a] = mod_inverse(a, q)
+    return table
+
+
+_INV_CACHE: dict[int, np.ndarray] = {}
+
+
+def mat_canonicalize(mats: np.ndarray, q: int) -> np.ndarray:
+    """Return the canonical projective representative of each matrix.
+
+    Scales each matrix so that its first non-zero entry (scanning
+    ``a, b, c, d``) equals 1; two matrices represent the same PGL(2, q)
+    element iff their canonical forms are equal.  Fully vectorised.
+    """
+    if q not in _INV_CACHE:
+        _INV_CACHE[q] = _inverse_table(q)
+    inv = _INV_CACHE[q]
+    mats = np.atleast_2d(np.asarray(mats, dtype=np.int64) % q)
+    nonzero = mats != 0
+    # Index of the first non-zero entry per matrix.
+    first = np.argmax(nonzero, axis=-1)
+    lead = np.take_along_axis(mats, first[..., None], axis=-1)[..., 0]
+    if np.any(lead == 0):
+        raise ValueError("zero matrix cannot be canonicalised projectively")
+    scale = inv[lead]
+    return (mats * scale[..., None]) % q
+
+
+def mat_encode(mats: np.ndarray, q: int) -> np.ndarray:
+    """Pack canonical matrices into unique int64 keys (base-q digits)."""
+    mats = np.atleast_2d(mats)
+    return ((mats[..., 0] * q + mats[..., 1]) * q + mats[..., 2]) * q + mats[..., 3]
+
+
+def mat_decode(keys: np.ndarray, q: int) -> np.ndarray:
+    """Inverse of :func:`mat_encode`."""
+    keys = np.asarray(keys, dtype=np.int64)
+    d = keys % q
+    rest = keys // q
+    c = rest % q
+    rest //= q
+    b = rest % q
+    a = rest // q
+    return np.stack([a, b, c, d], axis=-1)
+
+
+def pgl2_order(q: int) -> int:
+    """|PGL(2, q)| = q^3 - q."""
+    return q**3 - q
+
+
+def psl2_order(q: int) -> int:
+    """|PSL(2, q)| = (q^3 - q) / gcd(2, q - 1)."""
+    return (q**3 - q) // (2 if q % 2 == 1 else 1)
+
+
+def pgl2_elements(q: int) -> np.ndarray:
+    """Enumerate all canonical PGL(2, q) representatives (small q only).
+
+    Intended for tests; O(q^4) work.
+    """
+    grid = np.stack(
+        np.meshgrid(*(np.arange(q),) * 4, indexing="ij"), axis=-1
+    ).reshape(-1, 4)
+    dets = mat_determinant(grid, q)
+    invertible = grid[dets != 0]
+    canon = mat_canonicalize(invertible, q)
+    keys = mat_encode(canon, q)
+    uniq = np.unique(keys)
+    return mat_decode(uniq, q)

@@ -1,0 +1,17 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A topology/experiment parameter is invalid or infeasible."""
+
+
+class ConstructionError(ReproError, RuntimeError):
+    """A graph construction failed an internal consistency check."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The network simulator reached an inconsistent state."""

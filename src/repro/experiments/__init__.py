@@ -1,0 +1,15 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> ExperimentResult`` (rows of the same
+quantities the paper reports) and is runnable as a script::
+
+    python -m repro.experiments.table1
+    python -m repro.experiments.fig6 --scale small
+
+The pytest-benchmark harness under ``benchmarks/`` calls the same ``run``
+functions, so the benchmark suite and the CLI always agree.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

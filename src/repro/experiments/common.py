@@ -1,0 +1,136 @@
+"""Shared experiment machinery: results, metric rows, topology caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.graphs.metrics import average_distance, diameter, girth
+from repro.partition import bisection_bandwidth
+from repro.routing import RoutingTables, make_routing
+from repro.sim import NetworkSimulator, SimConfig, make_traffic, place_ranks
+from repro.sim.traffic import OpenLoopSource
+from repro.spectral import mu1
+from repro.topology import Topology, build_size_class
+from repro.utils.tables import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + metadata for one experiment."""
+
+    experiment: str
+    rows: list[dict[str, Any]]
+    notes: str = ""
+    columns: list[str] | None = None
+
+    def to_text(self) -> str:
+        text = render_table(self.rows, columns=self.columns, title=self.experiment)
+        if self.notes:
+            text += f"\n\n{self.notes}"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Topology construction caching (experiments share instances heavily).
+_TOPO_CACHE: dict[tuple, Any] = {}
+
+
+def cached(key: tuple, builder: Callable[[], Any]) -> Any:
+    """Memoise expensive constructions across experiments in one process."""
+    if key not in _TOPO_CACHE:
+        _TOPO_CACHE[key] = builder()
+    return _TOPO_CACHE[key]
+
+
+def cached_size_class(class_id: int) -> dict[str, Topology]:
+    return cached(("size-class", class_id), lambda: build_size_class(class_id))
+
+
+def cached_tables(topo: Topology) -> RoutingTables:
+    return cached(("tables", topo.name), lambda: RoutingTables(topo.graph))
+
+
+# ---------------------------------------------------------------------------
+def structural_row(
+    topo: Topology,
+    with_bisection: bool = False,
+    bisection_repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """One Table I row for a topology."""
+    g = topo.graph
+    vt = topo.vertex_transitive
+    row = {
+        "topology": topo.name,
+        "routers": topo.n_routers,
+        "radix": topo.radix,
+        "diameter": diameter(g, sample=1 if vt else None),
+        "avg_distance": round(average_distance(g), 2),
+        "girth": girth(g, assume_vertex_transitive=vt, sample=None if vt else 64),
+        "mu1": round(mu1(g), 2),
+    }
+    if with_bisection:
+        row["bisection"] = bisection_bandwidth(g, repeats=bisection_repeats, seed=seed)
+    return row
+
+
+# ---------------------------------------------------------------------------
+def run_synthetic_sim(
+    topo: Topology,
+    routing_name: str,
+    pattern_name: str,
+    offered_load: float,
+    concentration: int,
+    n_ranks: int,
+    packets_per_rank: int = 20,
+    seed: int = 0,
+    config: SimConfig | None = None,
+) -> dict[str, Any]:
+    """One open-loop synthetic-traffic simulation; returns the stats summary.
+
+    This is the engine behind Figs. 6-8: a Poisson source per rank at
+    ``offered_load`` of the endpoint bandwidth, the named bit-permutation
+    (or random) pattern, and the requested routing policy.
+    """
+    cfg = config or SimConfig(concentration=concentration)
+    if config is None:
+        cfg.concentration = concentration
+    tables = cached_tables(topo)
+    routing = make_routing(routing_name, tables, seed=seed)
+    net = NetworkSimulator(topo, routing, cfg, tables=tables)
+    rank_to_ep = place_ranks(n_ranks, net.n_endpoints, seed=seed + 1)
+    pattern = make_traffic(pattern_name, n_ranks)
+    for rank in range(n_ranks):
+        net.add_open_loop_source(
+            OpenLoopSource(
+                rank,
+                int(rank_to_ep[rank]),
+                pattern,
+                rank_to_ep,
+                offered_load,
+                packets_per_rank,
+                seed=seed * 1_000_003 + rank,
+            )
+        )
+    stats = net.run()
+    out = stats.summary()
+    out.update(
+        topology=topo.name,
+        routing=routing_name,
+        pattern=pattern_name,
+        offered_load=offered_load,
+    )
+    return out
+
+
+#: The figure-of-merit the paper compares across topologies: "the maximum
+#: time taken across all the messages under a particular offered load".
+SPEEDUP_METRIC = "max_latency_ns"
+
+
+def speedup(baseline: dict, other: dict, metric: str = SPEEDUP_METRIC) -> float:
+    """Paper-style speedup: baseline time / other time (>1 = other faster)."""
+    return baseline[metric] / other[metric]

@@ -1,0 +1,69 @@
+"""Figure 11: end-to-end latency relative to SkyWalk vs switch latency.
+
+Lays out LPS and SlimFly pairs plus SkyWalk in the same machine room and
+sweeps the switch latency 0-250 ns; reports the ratio of average and
+maximum end-to-end latency to SkyWalk's.  Paper shape: both LPS and SF beat
+SkyWalk at realistic switch latencies (ratio < 1), with SF ~5-10% below
+LPS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, cached
+from repro.layout import latency_statistics, layout_topology, native_layout
+from repro.layout.machine_room import MachineRoom
+from repro.topology import build_lps, build_skywalk, build_slimfly
+from repro.experiments.table2 import TABLE2_PAIRS
+
+SWITCH_LATENCIES_NS = (0.0, 50.0, 100.0, 150.0, 200.0, 250.0)
+
+
+def run(
+    pairs=None,
+    switch_latencies: tuple[float, ...] = SWITCH_LATENCIES_NS,
+    seed: int = 0,
+    skywalk_instances: int = 3,
+) -> ExperimentResult:
+    if pairs is None:
+        pairs = TABLE2_PAIRS[:2]
+    rows = []
+    for (p, q), sf_q in pairs:
+        lps = cached(("LPS", p, q), lambda p=p, q=q: build_lps(p, q))
+        sf = cached(("SF", sf_q), lambda sf_q=sf_q: build_slimfly(sf_q))
+        for topo in (lps, sf):
+            layout = layout_topology(topo, seed=seed)
+            room = MachineRoom(topo.n_routers)
+            sky_layouts = [
+                native_layout(
+                    build_skywalk(topo.n_routers, topo.radix, seed=seed + i),
+                    room=room,
+                )
+                for i in range(skywalk_instances)
+            ]
+            for s in switch_latencies:
+                avg, mx = latency_statistics(layout, s)
+                sky = [latency_statistics(sl, s) for sl in sky_layouts]
+                sky_avg = float(np.mean([a for a, _ in sky]))
+                sky_max = float(np.mean([m for _, m in sky]))
+                rows.append(
+                    {
+                        "topology": topo.name,
+                        "switch_ns": s,
+                        "avg_ratio_vs_skywalk": round(avg / sky_avg, 3),
+                        "max_ratio_vs_skywalk": round(mx / sky_max, 3),
+                        "avg_latency_ns": round(avg, 1),
+                        "max_latency_ns": round(mx, 1),
+                    }
+                )
+    return ExperimentResult(
+        experiment="Fig 11 — latency relative to SkyWalk vs switch latency",
+        rows=rows,
+        notes="expected shape: ratios fall below 1 as switch latency grows "
+        "(fewer hops beat shorter cables); SF slightly below LPS",
+    )
+
+
+if __name__ == "__main__":
+    print(run().to_text())

@@ -1,0 +1,119 @@
+"""Figure 4: the LPS design space and bisection bandwidth comparison.
+
+Four panels:
+
+* ``design_space`` (upper left) — feasible (vertices, radix) of LPS for
+  p, q < 300.
+* ``normalized_bisection`` (upper right) — normalized bisection bandwidth
+  (cut / (nk/2)) of LPS instances for p, q < bounds.
+* ``feasible_sizes`` (lower left) — feasible sizes per radix for all four
+  families.
+* ``bisection_comparison`` (lower right) — raw bisection bandwidth (METIS
+  stand-in upper estimate + Fiedler lower bound) for the Table I classes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, cached, cached_size_class
+from repro.partition import bisection_bandwidth
+from repro.spectral import bisection_lower_bound
+from repro.topology import (
+    build_lps,
+    feasible_sizes_per_radix,
+    lps_design_space,
+)
+
+
+def run_design_space(max_pq: int = 300) -> ExperimentResult:
+    rows = lps_design_space(max_pq, max_pq)
+    return ExperimentResult(
+        experiment="Fig 4 (upper left) — LPS design space",
+        rows=rows,
+        notes=f"{len(rows)} feasible (p,q) pairs below {max_pq}",
+    )
+
+
+def run_normalized_bisection(
+    max_p: int = 13, max_q: int = 18, repeats: int = 3
+) -> ExperimentResult:
+    """Normalized bisection bandwidth of LPS instances.
+
+    Bounds default far below the paper's p,q < 100 sweep (those graphs reach
+    ~10^6 vertices); raise them to extend the sweep.
+    """
+    rows = []
+    for spec in lps_design_space(max_p, max_q):
+        p, q = spec["p"], spec["q"]
+        topo = cached(("LPS", p, q), lambda p=p, q=q: build_lps(p, q))
+        g = topo.graph
+        cut = bisection_bandwidth(g, repeats=repeats)
+        norm = cut / (g.n * topo.radix / 2.0)
+        rows.append(
+            {
+                "p": p,
+                "q": q,
+                "radix": topo.radix,
+                "vertices": g.n,
+                "bisection": cut,
+                "normalized": round(norm, 3),
+                "fiedler_lower_norm": round(
+                    bisection_lower_bound(g) / (g.n * topo.radix / 2.0), 3
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment="Fig 4 (upper right) — normalized bisection bandwidth of LPS",
+        rows=rows,
+        notes="normalized = cut / (n k / 2); larger radix -> larger values, "
+        "no decay with size at fixed radix (Ramanujan property)",
+    )
+
+
+def run_feasible_sizes(max_vertices: int = 10_000) -> ExperimentResult:
+    feas = feasible_sizes_per_radix(max_vertices)
+    rows = []
+    for fam, pairs in feas.items():
+        for radix, n in pairs:
+            rows.append({"family": fam, "radix": radix, "vertices": n})
+    return ExperimentResult(
+        experiment="Fig 4 (lower left) — feasible topology sizes per radix",
+        rows=rows,
+        notes="LPS admits arbitrarily many sizes per radix; SlimFly/DragonFly "
+        "have exactly one",
+    )
+
+
+def run_bisection_comparison(
+    classes: tuple[int, ...] = (1, 2), repeats: int = 3
+) -> ExperimentResult:
+    rows = []
+    for cid in classes:
+        for fam, topo in cached_size_class(cid).items():
+            g = topo.graph
+            cut = bisection_bandwidth(g, repeats=repeats)
+            rows.append(
+                {
+                    "class": cid,
+                    "topology": topo.name,
+                    "vertices": g.n,
+                    "bisection_upper": cut,
+                    "fiedler_lower": round(bisection_lower_bound(g), 1),
+                    "normalized": round(cut / (g.n * topo.radix / 2.0), 3),
+                }
+            )
+    return ExperimentResult(
+        experiment="Fig 4 (lower right) — bisection bandwidth comparison",
+        rows=rows,
+        notes="LPS should lead SlimFly (up to ~39% in the paper), both far "
+        "above BundleFly/DragonFly",
+    )
+
+
+if __name__ == "__main__":
+    print(run_design_space().to_text())
+    print()
+    print(run_normalized_bisection().to_text())
+    print()
+    print(run_feasible_sizes().to_text())
+    print()
+    print(run_bisection_comparison().to_text())

@@ -1,0 +1,42 @@
+"""Graph kernel: CSR storage, batched BFS, structural metrics, generators."""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.bfs import (
+    bfs_distances,
+    distance_matrix,
+    distance_profile,
+)
+from repro.graphs.metrics import (
+    average_distance,
+    diameter,
+    girth,
+    is_bipartite,
+    is_connected,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.graphs.failures import delete_random_edges, resilience_trials
+
+__all__ = [
+    "CSRGraph",
+    "bfs_distances",
+    "distance_matrix",
+    "distance_profile",
+    "diameter",
+    "average_distance",
+    "girth",
+    "is_connected",
+    "is_bipartite",
+    "complete_graph",
+    "cycle_graph",
+    "hypercube_graph",
+    "torus_graph",
+    "random_regular_graph",
+    "delete_random_edges",
+    "resilience_trials",
+]

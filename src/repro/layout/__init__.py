@@ -1,0 +1,19 @@
+"""Machine-room layout, wiring cost, power and latency models (Section VII)."""
+
+from repro.layout.machine_room import MachineRoom
+from repro.layout.matching import cabinet_pairing
+from repro.layout.qap import layout_topology, native_layout, LayoutResult
+from repro.layout.power import power_report, PowerModel
+from repro.layout.latency import latency_statistics, latency_sweep
+
+__all__ = [
+    "MachineRoom",
+    "cabinet_pairing",
+    "layout_topology",
+    "native_layout",
+    "LayoutResult",
+    "PowerModel",
+    "power_report",
+    "latency_statistics",
+    "latency_sweep",
+]

@@ -1,0 +1,65 @@
+"""The machine-room geometry of Section VII.
+
+Following the paper (which follows SkyWalk [40]): cabinets form an
+``x by y`` grid; each cabinet holds two routers (as on Summit); wires inside
+a cabinet are 2 m, and the wire between cabinets ``i`` and ``j`` is
+``4 + 2 |x_i - x_j| + 0.6 |y_i - y_j|`` metres (2 m of overhead at each end
+plus rectilinear cable tray runs; rows are 2 m apart, columns 0.6 m).  The
+room is kept roughly square by ``y = ceil(sqrt(2 c / 0.6))``, ``x =
+ceil(c / y)`` for ``c`` cabinets.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+INTRA_CABINET_M = 2.0
+OVERHEAD_M = 4.0
+ROW_PITCH_M = 2.0
+COL_PITCH_M = 0.6
+
+
+class MachineRoom:
+    """Cabinet grid sized for ``n_routers`` with 2 routers per cabinet."""
+
+    def __init__(self, n_routers: int, routers_per_cabinet: int = 2) -> None:
+        self.n_routers = int(n_routers)
+        self.routers_per_cabinet = int(routers_per_cabinet)
+        self.n_cabinets = math.ceil(n_routers / routers_per_cabinet)
+        self.y = math.ceil(math.sqrt(2.0 * self.n_cabinets / 0.6))
+        self.x = math.ceil(self.n_cabinets / self.y)
+
+    def cabinet_grid_positions(self) -> np.ndarray:
+        """Integer (x, y) grid index per cabinet, row-major."""
+        c = self.n_cabinets
+        idx = np.arange(c)
+        return np.stack([idx // self.y, idx % self.y], axis=1)
+
+    def cabinet_distance_matrix(self) -> np.ndarray:
+        """Inter-cabinet wire length matrix in metres (diag = intra 2 m)."""
+        pos = self.cabinet_grid_positions()
+        dx = np.abs(pos[:, 0][:, None] - pos[:, 0][None, :])
+        dy = np.abs(pos[:, 1][:, None] - pos[:, 1][None, :])
+        d = OVERHEAD_M + ROW_PITCH_M * dx + COL_PITCH_M * dy
+        np.fill_diagonal(d, INTRA_CABINET_M)
+        return d
+
+    def router_positions(self) -> np.ndarray:
+        """Physical (x, y) metre coordinates per router (router r in cabinet
+        r // routers_per_cabinet), used by SkyWalk's cable-length preference."""
+        pos = self.cabinet_grid_positions().astype(np.float64)
+        pos[:, 0] *= ROW_PITCH_M
+        pos[:, 1] *= COL_PITCH_M
+        cab = np.arange(self.n_routers) // self.routers_per_cabinet
+        return pos[cab]
+
+    def wire_length(self, cab_i: int, cab_j: int) -> float:
+        """Wire length between two cabinets (2 m when identical)."""
+        if cab_i == cab_j:
+            return INTRA_CABINET_M
+        pos = self.cabinet_grid_positions()
+        dx = abs(int(pos[cab_i, 0]) - int(pos[cab_j, 0]))
+        dy = abs(int(pos[cab_i, 1]) - int(pos[cab_j, 1]))
+        return OVERHEAD_M + ROW_PITCH_M * dx + COL_PITCH_M * dy

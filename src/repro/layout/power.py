@@ -1,0 +1,69 @@
+"""Link power model (Table II).
+
+Methodology of [42] updated to the Mellanox SB7800 EDR 100 Gb/s switch, as
+in the paper: a port driving an electrical cable draws ~3.76 W, a port
+driving an optical cable 25% more (~4.70 W).  Links short enough for
+passive copper are electrical; longer links need optical transceivers.  The
+paper's Table II reports link counts, total power, and power per unit of
+bisection bandwidth (mW per Gb/s).
+
+Note (see DESIGN.md): the paper's absolute power totals are not
+reconstructible from its stated constants; we implement the stated
+methodology and compare topologies by *ratio*, which is how the paper draws
+its conclusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.qap import LayoutResult
+
+
+@dataclass
+class PowerModel:
+    """Per-port power constants and the electrical-reach threshold."""
+
+    electrical_port_w: float = 3.76
+    optical_premium: float = 0.25
+    electrical_reach_m: float = 5.0
+    link_bandwidth_gbps: float = 100.0
+
+    @property
+    def optical_port_w(self) -> float:
+        return self.electrical_port_w * (1.0 + self.optical_premium)
+
+
+def power_report(
+    layout: LayoutResult,
+    bisection_links: int,
+    model: PowerModel | None = None,
+) -> dict:
+    """Table II row: wire stats, link classes, power, and power/bandwidth.
+
+    ``bisection_links`` is the topology's bisection bandwidth in links (from
+    the partitioner); power/bandwidth is reported in mW per Gb/s.
+    """
+    model = model or PowerModel()
+    lengths = layout.wire_lengths
+    electrical = int((lengths <= model.electrical_reach_m).sum())
+    optical = int(len(lengths) - electrical)
+    # Two ports per link.
+    total_w = 2.0 * (
+        electrical * model.electrical_port_w + optical * model.optical_port_w
+    )
+    bw_gbps = bisection_links * model.link_bandwidth_gbps
+    return {
+        "name": layout.topology.name,
+        "routers": layout.topology.n_routers,
+        "radix": layout.topology.radix,
+        "avg_wire_m": round(layout.mean_wire_m, 2),
+        "max_wire_m": round(layout.max_wire_m, 2),
+        "electrical_links": electrical,
+        "optical_links": optical,
+        "bisection_links": bisection_links,
+        "total_power_w": round(total_w, 1),
+        "mw_per_gbps": round(1000.0 * total_w / bw_gbps, 1) if bw_gbps else None,
+    }

@@ -1,0 +1,45 @@
+"""Number-theoretic primitives underlying the LPS construction.
+
+This subpackage provides everything Definition 3 of the paper needs:
+primality testing and prime enumeration (:mod:`repro.nt.primes`),
+modular arithmetic including the Legendre symbol, modular square roots,
+and solutions of ``x^2 + y^2 + 1 = 0 (mod q)`` (:mod:`repro.nt.modular`),
+and the enumeration of integral-quaternion four-square representations of a
+prime ``p`` with the LPS normalisation (:mod:`repro.nt.quaternions`).
+"""
+
+from repro.nt.primes import (
+    is_prime,
+    is_prime_power,
+    next_prime,
+    primes_below,
+    prime_power_decomposition,
+)
+from repro.nt.modular import (
+    crt_pair,
+    legendre_symbol,
+    mod_inverse,
+    solve_sum_of_two_squares_plus_one,
+    sqrt_mod,
+)
+from repro.nt.quaternions import (
+    Quaternion,
+    lps_generators_alpha,
+    sum_of_four_squares_representations,
+)
+
+__all__ = [
+    "is_prime",
+    "is_prime_power",
+    "next_prime",
+    "primes_below",
+    "prime_power_decomposition",
+    "legendre_symbol",
+    "mod_inverse",
+    "sqrt_mod",
+    "crt_pair",
+    "solve_sum_of_two_squares_plus_one",
+    "Quaternion",
+    "sum_of_four_squares_representations",
+    "lps_generators_alpha",
+]

@@ -1,0 +1,109 @@
+"""Modular arithmetic helpers for the LPS construction.
+
+Provides the Legendre symbol (which decides whether LPS(p, q) lives in
+PSL(2, q) or PGL(2, q)), modular square roots via Tonelli--Shanks, and the
+solutions ``(x, y)`` of ``x^2 + y^2 + 1 = 0 (mod q)`` needed to embed the
+quaternion generators into 2x2 matrices (paper Definition 3).
+"""
+
+from __future__ import annotations
+
+from repro.nt.primes import is_prime
+
+
+def mod_inverse(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m``; raises if not invertible."""
+    a %= m
+    g, x = _extended_gcd(a, m)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {m} (gcd={g})")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int]:
+    """Return ``(gcd(a, b), x)`` with ``a*x = gcd (mod b)``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+    return old_r, old_s
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Return the Legendre symbol ``(a/p)`` in {-1, 0, 1} for odd prime p."""
+    if p <= 2 or not is_prime(p):
+        raise ValueError(f"p={p} must be an odd prime")
+    a %= p
+    if a == 0:
+        return 0
+    value = pow(a, (p - 1) // 2, p)
+    return 1 if value == 1 else -1
+
+
+def sqrt_mod(a: int, p: int) -> int | None:
+    """Return a square root of ``a`` modulo odd prime ``p``, or ``None``.
+
+    Tonelli--Shanks; deterministic non-residue search (2, 3, 4, ...) keeps
+    the function reproducible.
+    """
+    a %= p
+    if a == 0:
+        return 0
+    if p == 2:
+        return a
+    if legendre_symbol(a, p) != 1:
+        return None
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    # Tonelli-Shanks for p = 1 (mod 4).
+    q, s = p - 1, 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while legendre_symbol(z, p) != -1:
+        z += 1
+    m, c, t, r = s, pow(z, q, p), pow(a, q, p), pow(a, (q + 1) // 2, p)
+    while t != 1:
+        t2 = t
+        i = 0
+        for i in range(1, m):
+            t2 = t2 * t2 % p
+            if t2 == 1:
+                break
+        b = pow(c, 1 << (m - i - 1), p)
+        m, c = i, b * b % p
+        t, r = t * c % p, r * b % p
+    return r
+
+
+def solve_sum_of_two_squares_plus_one(q: int) -> tuple[int, int]:
+    """Return the lexicographically-least ``(x, y)`` with x^2+y^2+1=0 (mod q).
+
+    A solution always exists for odd prime ``q`` (count the overlapping value
+    sets of ``x^2`` and ``-1 - y^2``).  The paper's Example 1 uses
+    ``(x, y) = (0, 2)`` for q = 5, which this function reproduces.
+    """
+    if q == 2:
+        return (1, 0)
+    if not is_prime(q) or q < 3:
+        raise ValueError(f"q={q} must be an odd prime")
+    # Fast path: if -1 is a QR, take y = 0 and x = sqrt(-1).
+    for x in range(q):
+        rhs = (-1 - x * x) % q
+        y = sqrt_mod(rhs, q)
+        if y is not None:
+            y = min(y, q - y) if y else 0
+            return (x, y)
+    raise RuntimeError(f"no solution of x^2+y^2+1=0 mod {q}; q prime?")
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Return x (mod m1*m2) with x=r1 (mod m1) and x=r2 (mod m2), coprime moduli."""
+    g, inv = _extended_gcd(m1 % m2, m2)
+    if g != 1:
+        raise ValueError(f"moduli {m1}, {m2} are not coprime")
+    t = (r2 - r1) * inv % m2
+    return (r1 + m1 * t) % (m1 * m2)

@@ -1,0 +1,94 @@
+"""Primality testing and prime enumeration.
+
+The LPS construction (paper Definition 3) requires distinct odd primes
+``p, q``; SlimFly/BundleFly additionally require prime *powers* (the paper's
+SF(9), SF(27) and BF(97, 4) instances use GF(9), GF(27) and GF(4)).  The
+deterministic Miller--Rabin witness set used here is exact for all inputs
+below 3.3 * 10^24, far beyond any feasible topology parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Deterministic Miller-Rabin witnesses valid for n < 3,317,044,064,679,887,385,961,981.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Return ``True`` iff ``n`` is prime (deterministic for n < 3.3e24)."""
+    if n < 2:
+        return False
+    for sp in _SMALL_PRIMES:
+        if n == sp:
+            return True
+        if n % sp == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def primes_below(limit: int) -> np.ndarray:
+    """Return all primes strictly below ``limit`` as an int64 array (sieve)."""
+    if limit <= 2:
+        return np.empty(0, dtype=np.int64)
+    sieve = np.ones(limit, dtype=bool)
+    sieve[:2] = False
+    for i in range(2, int(limit**0.5) + 1):
+        if sieve[i]:
+            sieve[i * i :: i] = False
+    return np.flatnonzero(sieve).astype(np.int64)
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        if candidate == 2:
+            return 2
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def prime_power_decomposition(n: int) -> tuple[int, int] | None:
+    """Return ``(p, m)`` with ``n == p**m`` and ``p`` prime, or ``None``.
+
+    Used to decide whether a SlimFly/BundleFly parameter ``q`` is a valid
+    finite-field order.
+    """
+    if n < 2:
+        return None
+    if is_prime(n):
+        return (n, 1)
+    # n = p^m with m >= 2 implies p <= n^(1/2).
+    for m in range(2, n.bit_length() + 1):
+        root = round(n ** (1.0 / m))
+        for p in (root - 1, root, root + 1):
+            if p >= 2 and p**m == n and is_prime(p):
+                return (p, m)
+    return None
+
+
+def is_prime_power(n: int) -> bool:
+    """Return ``True`` iff ``n`` is a positive power of a single prime."""
+    return prime_power_decomposition(n) is not None

@@ -1,0 +1,108 @@
+"""Integral quaternions and four-square representations for LPS generators.
+
+The generating set of LPS(p, q) is indexed by solutions
+``(a0, a1, a2, a3)`` of ``a0^2 + a1^2 + a2^2 + a3^2 = p`` satisfying the
+normalisation of paper Definition 3:
+
+* ``p = 1 (mod 4)``: ``a0 > 0`` and odd (then a1, a2, a3 are even);
+* ``p = 3 (mod 4)``: ``a0 > 0`` and even, **or** ``a0 = 0`` and ``a1 > 0``.
+
+By Jacobi's four-square theorem a prime has ``8(p + 1)`` integer
+representations; the normalisation selects exactly ``p + 1`` of them, one per
+generator, and the resulting set is closed under quaternion conjugation
+(inverse in the projective group), making the Cayley graph undirected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Quaternion:
+    """Integral (Lipschitz) quaternion ``a + b i + c j + d k``."""
+
+    a: int
+    b: int
+    c: int
+    d: int
+
+    def norm(self) -> int:
+        """Return the reduced norm ``a^2 + b^2 + c^2 + d^2``."""
+        return self.a * self.a + self.b * self.b + self.c * self.c + self.d * self.d
+
+    def conjugate(self) -> "Quaternion":
+        """Return ``a - b i - c j - d k``."""
+        return Quaternion(self.a, -self.b, -self.c, -self.d)
+
+    def __mul__(self, other: "Quaternion") -> "Quaternion":
+        a1, b1, c1, d1 = self.a, self.b, self.c, self.d
+        a2, b2, c2, d2 = other.a, other.b, other.c, other.d
+        return Quaternion(
+            a1 * a2 - b1 * b2 - c1 * c2 - d1 * d2,
+            a1 * b2 + b1 * a2 + c1 * d2 - d1 * c2,
+            a1 * c2 - b1 * d2 + c1 * a2 + d1 * b2,
+            a1 * d2 + b1 * c2 - c1 * b2 + d1 * a2,
+        )
+
+    def __add__(self, other: "Quaternion") -> "Quaternion":
+        return Quaternion(
+            self.a + other.a, self.b + other.b, self.c + other.c, self.d + other.d
+        )
+
+
+def sum_of_four_squares_representations(n: int) -> list[tuple[int, int, int, int]]:
+    """Return all signed integer 4-tuples with ``a0^2+a1^2+a2^2+a3^2 == n``.
+
+    Exhaustive bounded enumeration; for primes the count is ``8(n + 1)``
+    (Jacobi), which the tests assert.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    bound = math.isqrt(n)
+    out: list[tuple[int, int, int, int]] = []
+    for a0 in range(-bound, bound + 1):
+        r0 = n - a0 * a0
+        b1 = math.isqrt(r0)
+        for a1 in range(-b1, b1 + 1):
+            r1 = r0 - a1 * a1
+            b2 = math.isqrt(r1)
+            for a2 in range(-b2, b2 + 1):
+                r2 = r1 - a2 * a2
+                a3 = math.isqrt(r2)
+                if a3 * a3 == r2:
+                    out.append((a0, a1, a2, a3))
+                    if a3 != 0:
+                        out.append((a0, a1, a2, -a3))
+    return out
+
+
+def lps_generators_alpha(p: int) -> list[tuple[int, int, int, int]]:
+    """Return the ``p + 1`` normalised four-square solutions for LPS(p, q).
+
+    Applies the Definition 3 selection rules.  The returned list is sorted
+    for reproducibility and is closed under the involution that realises
+    generator inverses: conjugation ``(a0, -a1, -a2, -a3)`` for
+    ``p = 1 (mod 4)`` / ``a0 > 0`` solutions, identity for the ``a0 = 0``
+    involutive generators of the ``p = 3 (mod 4)`` case.
+    """
+    if p < 3 or p % 2 == 0:
+        raise ValueError(f"p={p} must be an odd prime")
+    sols = sum_of_four_squares_representations(p)
+    selected: list[tuple[int, int, int, int]] = []
+    if p % 4 == 1:
+        for a0, a1, a2, a3 in sols:
+            if a0 > 0 and a0 % 2 == 1:
+                selected.append((a0, a1, a2, a3))
+    else:
+        for a0, a1, a2, a3 in sols:
+            if (a0 > 0 and a0 % 2 == 0) or (a0 == 0 and a1 > 0):
+                selected.append((a0, a1, a2, a3))
+    selected.sort()
+    if len(selected) != p + 1:
+        raise RuntimeError(
+            f"expected {p + 1} normalised four-square solutions for p={p}, "
+            f"found {len(selected)}; is p an odd prime?"
+        )
+    return selected

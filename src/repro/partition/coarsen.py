@@ -1,0 +1,94 @@
+"""Heavy-edge-matching coarsening for the multilevel partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.weighted import WeightedGraph
+from repro.utils.rng import as_rng
+
+
+def heavy_edge_matching(
+    wg: WeightedGraph, rng: np.random.Generator
+) -> np.ndarray:
+    """Return ``match`` with ``match[v]`` = matched partner (or v itself).
+
+    Visits vertices in random order; each unmatched vertex grabs its
+    unmatched neighbour of maximum edge weight (heavy-edge heuristic, as in
+    METIS).  Unmatchable vertices stay self-matched.
+    """
+    match = np.full(wg.n, -1, dtype=np.int64)
+    order = rng.permutation(wg.n)
+    for v in order:
+        if match[v] != -1:
+            continue
+        nbrs, wts = wg.neighbors(v)
+        free = match[nbrs] == -1
+        if not free.any():
+            match[v] = v
+            continue
+        cand_n = nbrs[free]
+        cand_w = wts[free]
+        partner = int(cand_n[np.argmax(cand_w)])
+        if partner == v:
+            match[v] = v
+        else:
+            match[v] = partner
+            match[partner] = v
+    return match
+
+
+def contract(
+    wg: WeightedGraph, match: np.ndarray
+) -> tuple[WeightedGraph, np.ndarray]:
+    """Contract matched pairs; returns (coarse graph, fine->coarse map)."""
+    n = wg.n
+    # Assign coarse ids: pair representative = min(v, match[v]).
+    reps = np.minimum(np.arange(n), match)
+    uniq, coarse_of = np.unique(reps, return_inverse=True)
+    nc = len(uniq)
+
+    heads = np.repeat(np.arange(n), np.diff(wg.indptr))
+    ch = coarse_of[heads]
+    ct = coarse_of[wg.indices]
+    keep = ch != ct  # drop intra-pair edges
+    ch, ct, w = ch[keep], ct[keep], wg.eweights[keep]
+    # Merge parallel arcs by (head, tail) key.
+    keys = ch * nc + ct
+    order = np.argsort(keys, kind="stable")
+    keys, w = keys[order], w[order]
+    uniq_keys, starts = np.unique(keys, return_index=True)
+    sums = np.add.reduceat(w, starts)
+    heads_c = (uniq_keys // nc).astype(np.int64)
+    tails_c = (uniq_keys % nc).astype(np.int64)
+
+    vweights = np.bincount(coarse_of, weights=wg.vweights, minlength=nc).astype(
+        np.int64
+    )
+    coarse = WeightedGraph.from_arrays(nc, heads_c, tails_c, sums, vweights)
+    return coarse, coarse_of
+
+
+def coarsen_to(
+    wg: WeightedGraph,
+    target: int,
+    rng: np.random.Generator,
+    min_shrink: float = 0.95,
+) -> tuple[list[WeightedGraph], list[np.ndarray]]:
+    """Repeatedly match+contract until at most ``target`` vertices remain.
+
+    Returns (graphs, maps): ``graphs[0]`` is the input, ``maps[i]`` maps
+    ``graphs[i]`` vertices to ``graphs[i+1]`` vertices.  Stops early if a
+    round shrinks the graph by less than ``min_shrink`` (dense graphs stop
+    coarsening usefully once contracted).
+    """
+    graphs = [wg]
+    maps: list[np.ndarray] = []
+    while graphs[-1].n > target:
+        match = heavy_edge_matching(graphs[-1], rng)
+        coarse, mapping = contract(graphs[-1], match)
+        if coarse.n >= graphs[-1].n * min_shrink:
+            break
+        graphs.append(coarse)
+        maps.append(mapping)
+    return graphs, maps

@@ -1,0 +1,64 @@
+"""Weighted-graph container used internally by the multilevel partitioner.
+
+Coarsening introduces vertex weights (merged vertex counts) and edge weights
+(merged parallel edges); the public :class:`~repro.graphs.csr.CSRGraph` stays
+unweighted, so the partitioner carries this private structure instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+@dataclass
+class WeightedGraph:
+    """CSR graph with int vertex weights and int edge weights."""
+
+    n: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    eweights: np.ndarray
+    vweights: np.ndarray
+
+    @classmethod
+    def from_csr(cls, g: CSRGraph) -> "WeightedGraph":
+        """Unit-weight lift of a simple graph."""
+        return cls(
+            n=g.n,
+            indptr=g.indptr.copy(),
+            indices=g.indices.astype(np.int64),
+            eweights=np.ones(len(g.indices), dtype=np.int64),
+            vweights=np.ones(g.n, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls, n: int, heads: np.ndarray, tails: np.ndarray, weights: np.ndarray,
+        vweights: np.ndarray,
+    ) -> "WeightedGraph":
+        """Build from directed arc arrays (both directions must be present)."""
+        order = np.lexsort((tails, heads))
+        heads, tails, weights = heads[order], tails[order], weights[order]
+        counts = np.bincount(heads, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(n, indptr, tails.astype(np.int64), weights.astype(np.int64),
+                   vweights.astype(np.int64))
+
+    def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (neighbour ids, edge weights) of ``v``."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.indices[lo:hi], self.eweights[lo:hi]
+
+    def total_vweight(self) -> int:
+        return int(self.vweights.sum())
+
+    def cut_value(self, labels: np.ndarray) -> int:
+        """Total weight of edges crossing the 0/1 labelling."""
+        heads = np.repeat(np.arange(self.n), np.diff(self.indptr))
+        crossing = labels[heads] != labels[self.indices]
+        return int(self.eweights[crossing].sum()) // 2

@@ -1,0 +1,27 @@
+"""Routing algorithms: minimal (multi-path), Valiant, and UGAL-L (Section V)."""
+
+from repro.routing.tables import RoutingTables
+from repro.routing.algorithms import (
+    MinimalRouting,
+    RoutingPolicy,
+    UGALRouting,
+    ValiantRouting,
+    make_routing,
+)
+from repro.routing.vc import (
+    build_channel_dependency_graph,
+    is_acyclic,
+    required_virtual_channels,
+)
+
+__all__ = [
+    "RoutingTables",
+    "RoutingPolicy",
+    "MinimalRouting",
+    "ValiantRouting",
+    "UGALRouting",
+    "make_routing",
+    "required_virtual_channels",
+    "build_channel_dependency_graph",
+    "is_acyclic",
+]

@@ -1,0 +1,204 @@
+"""The three routing strategies of Section V.
+
+* **Minimal** — forward along a uniformly random minimal next hop (the
+  random tie-break realises the path diversity minimal routing has on LPS
+  graphs).
+* **Valiant** [34] — route to a random intermediate router minimally, then
+  to the destination minimally.
+* **UGAL-L** — at the *source router only*, compare the locally observed
+  queue of the minimal port against the queue of a random Valiant first-hop
+  port, each weighted by its path length in hops; take the cheaper one.
+  Only local output-queue state is consulted, as in SST/macro's UGAL-L.
+
+A policy object is stateless across packets; per-packet routing state
+(Valiant intermediate, phase) lives on the packet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.tables import RoutingTables
+from repro.utils.rng import as_rng
+
+
+class RoutingPolicy:
+    """Interface the simulator drives.
+
+    ``on_source(net, router, pkt)`` runs once when the packet enters its
+    first router (sets Valiant state); ``next_hop(net, router, pkt)``
+    returns the neighbour to forward to.
+    """
+
+    name = "abstract"
+
+    def __init__(self, tables: RoutingTables, seed=0) -> None:
+        self.tables = tables
+        self.rng = as_rng(seed)
+
+    def required_vcs(self) -> int:
+        """Virtual channels needed for deadlock freedom (Section V-A)."""
+        raise NotImplementedError
+
+    def on_source(self, net, router: int, pkt) -> None:  # noqa: ARG002
+        """Hook run at the packet's injection router (default: nothing)."""
+
+    def next_hop(self, net, router: int, pkt) -> int:
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+    def _random_minimal(self, router: int, dst: int) -> int:
+        cands = self.tables.min_next_hops(router, dst)
+        if len(cands) == 1:
+            return int(cands[0])
+        return int(cands[self.rng.integers(len(cands))])
+
+    def _toward(self, router: int, pkt) -> int:
+        """Current waypoint: Valiant intermediate while in phase 0."""
+        if pkt.intermediate is not None and pkt.phase == 0:
+            if router == pkt.intermediate:
+                pkt.phase = 1
+                return pkt.dst_router
+            return pkt.intermediate
+        return pkt.dst_router
+
+
+class MinimalRouting(RoutingPolicy):
+    """Shortest-path routing with uniform random tie-breaks."""
+
+    name = "minimal"
+
+    def required_vcs(self) -> int:
+        return self.tables.diameter + 1
+
+    def next_hop(self, net, router: int, pkt) -> int:  # noqa: ARG002
+        return self._random_minimal(router, pkt.dst_router)
+
+
+class ValiantRouting(RoutingPolicy):
+    """Two-phase Valiant routing via a uniform random intermediate."""
+
+    name = "valiant"
+
+    def required_vcs(self) -> int:
+        return 2 * self.tables.diameter + 1
+
+    def on_source(self, net, router: int, pkt) -> None:  # noqa: ARG002
+        n = self.tables.graph.n
+        inter = int(self.rng.integers(n))
+        if inter in (router, pkt.dst_router):
+            pkt.intermediate = None  # degenerate draw: fall back to minimal
+        else:
+            pkt.intermediate = inter
+            pkt.phase = 0
+
+    def next_hop(self, net, router: int, pkt) -> int:  # noqa: ARG002
+        return self._random_minimal(router, self._toward(router, pkt))
+
+
+class UGALRouting(RoutingPolicy):
+    """UGAL-L: local-queue adaptive choice between minimal and Valiant."""
+
+    name = "ugal"
+
+    def __init__(self, tables: RoutingTables, seed=0, bias_bytes: int = 0) -> None:
+        super().__init__(tables, seed)
+        #: queue-byte bias added to the Valiant cost (favours minimal when
+        #: queues tie, as hardware UGAL implementations do).
+        self.bias_bytes = bias_bytes
+
+    def required_vcs(self) -> int:
+        return 2 * self.tables.diameter + 1
+
+    def on_source(self, net, router: int, pkt) -> None:
+        dst = pkt.dst_router
+        if dst == router:
+            pkt.intermediate = None
+            return
+        t = self.tables
+        n = t.graph.n
+        inter = int(self.rng.integers(n))
+        if inter in (router, dst):
+            pkt.intermediate = None
+            return
+        min_hop = self._random_minimal(router, dst)
+        val_hop = self._random_minimal(router, inter)
+        h_min = t.distance(router, dst)
+        h_val = t.distance(router, inter) + t.distance(inter, dst)
+        q_min = net.output_queue_bytes(router, min_hop)
+        q_val = net.output_queue_bytes(router, val_hop)
+        cost_min = (q_min + pkt.size) * h_min
+        cost_val = (q_val + pkt.size) * h_val + self.bias_bytes
+        if cost_min <= cost_val:
+            pkt.intermediate = None
+        else:
+            pkt.intermediate = inter
+            pkt.phase = 0
+
+    def next_hop(self, net, router: int, pkt) -> int:  # noqa: ARG002
+        return self._random_minimal(router, self._toward(router, pkt))
+
+
+class UGALGRouting(UGALRouting):
+    """UGAL-G: the global-information UGAL variant.
+
+    Where UGAL-L consults only the source router's local output queues,
+    UGAL-G scores each candidate by the *sum of queue occupancies along the
+    whole path* (an idealisation real hardware approximates with explicit
+    congestion telemetry).  Included as an upper bound on what adaptivity
+    can buy; the paper evaluates UGAL-L.
+    """
+
+    name = "ugal-g"
+
+    def on_source(self, net, router: int, pkt) -> None:
+        dst = pkt.dst_router
+        if dst == router:
+            pkt.intermediate = None
+            return
+        n = self.tables.graph.n
+        inter = int(self.rng.integers(n))
+        if inter in (router, dst):
+            pkt.intermediate = None
+            return
+        q_min, h_min = self._path_cost(net, router, dst)
+        q_val1, h_val1 = self._path_cost(net, router, inter)
+        q_val2, h_val2 = self._path_cost(net, inter, dst)
+        cost_min = (q_min + pkt.size * h_min) * h_min
+        cost_val = (q_val1 + q_val2 + pkt.size * (h_val1 + h_val2)) * (
+            h_val1 + h_val2
+        ) + self.bias_bytes
+        if cost_min <= cost_val:
+            pkt.intermediate = None
+        else:
+            pkt.intermediate = inter
+            pkt.phase = 0
+
+    def _path_cost(self, net, src: int, dst: int) -> tuple[int, int]:
+        """Queued bytes summed along one sampled minimal path + its length."""
+        total = 0
+        hops = 0
+        at = src
+        while at != dst:
+            nxt = self._random_minimal(at, dst)
+            total += net.output_queue_bytes(at, nxt)
+            at = nxt
+            hops += 1
+        return total, hops
+
+
+_POLICIES = {
+    "minimal": MinimalRouting,
+    "valiant": ValiantRouting,
+    "ugal": UGALRouting,
+    "ugal-g": UGALGRouting,
+}
+
+
+def make_routing(name: str, tables: RoutingTables, seed=0) -> RoutingPolicy:
+    """Factory: ``minimal`` / ``valiant`` / ``ugal``."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown routing {name!r}; options {list(_POLICIES)}")
+    return cls(tables, seed=seed)

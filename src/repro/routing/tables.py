@@ -1,0 +1,51 @@
+"""Distance tables and minimal next-hop queries.
+
+A single ``n x n`` int16 hop-distance matrix (batched-BFS, computed once per
+topology) answers every routing question the simulator asks:
+
+* minimal next hops of ``(router, destination)``: the neighbours ``v`` with
+  ``dist[v, d] == dist[u, d] - 1`` (all of them — path diversity is the
+  point of the paper's Section VI analysis);
+* path lengths for UGAL's minimal-vs-Valiant comparison.
+
+Queries are numpy slices over the CSR row — no per-packet Python search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.bfs import distance_matrix
+from repro.graphs.csr import CSRGraph
+
+
+class RoutingTables:
+    """Hop-distance oracle for one router graph."""
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self.graph = graph
+        self.dist = distance_matrix(graph).astype(np.int16)
+        if np.any(self.dist < 0):
+            raise ValueError("router graph is disconnected")
+        self.diameter = int(self.dist.max())
+
+    def distance(self, u: int, d: int) -> int:
+        """Hop distance from router u to router d."""
+        return int(self.dist[u, d])
+
+    def min_next_hops(self, u: int, d: int) -> np.ndarray:
+        """All neighbours of ``u`` on a shortest path to ``d``."""
+        row = self.graph.neighbors(u)
+        return row[self.dist[row, d] == self.dist[u, d] - 1]
+
+    def port_of(self, u: int, v: int) -> int:
+        """Local port index of the link u -> v (raises if absent)."""
+        row = self.graph.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        if i >= len(row) or row[i] != v:
+            raise KeyError(f"no link {u} -> {v}")
+        return i
+
+    def directed_edge_id(self, u: int, v: int) -> int:
+        """Global id of the directed edge u -> v (CSR position)."""
+        return int(self.graph.indptr[u]) + self.port_of(u, v)

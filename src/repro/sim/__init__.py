@@ -1,0 +1,34 @@
+"""Packet-level interconnection-network simulator (SST/macro SNAPPR stand-in).
+
+See DESIGN.md for the substitution notes: store-and-forward packet switching
+with per-VC output queues and measured (not blocking) buffer occupancy,
+which preserves the congestion behaviour the paper's Section VI compares
+while staying tractable in Python.
+"""
+
+from repro.sim.packet import Packet
+from repro.sim.network import NetworkSimulator, SimConfig
+from repro.sim.traffic import (
+    BitComplementTraffic,
+    BitReverseTraffic,
+    BitShuffleTraffic,
+    TransposeTraffic,
+    UniformRandomTraffic,
+    make_traffic,
+)
+from repro.sim.placement import place_ranks
+from repro.sim.stats import SimStats
+
+__all__ = [
+    "Packet",
+    "NetworkSimulator",
+    "SimConfig",
+    "SimStats",
+    "UniformRandomTraffic",
+    "BitShuffleTraffic",
+    "BitReverseTraffic",
+    "TransposeTraffic",
+    "BitComplementTraffic",
+    "make_traffic",
+    "place_ranks",
+]

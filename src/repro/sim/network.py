@@ -1,0 +1,345 @@
+"""The discrete-event network simulator core.
+
+Model (coarse-grained, mirroring SNAPPR's role in the paper):
+
+* **Store-and-forward packet switching.**  A packet occupies an output port
+  for ``size / bandwidth`` ns; each router traversal adds a fixed switch
+  latency, each cable a fixed propagation latency.
+* **Output-queued routers with per-VC FIFOs** served round-robin.  The VC of
+  a packet is its hop count (the paper's increment-per-hop deadlock
+  avoidance), capped at the policy's VC budget.
+* **Endpoint NICs** serialise injections at link bandwidth; ejection ports
+  do the same at the destination router.
+* **Buffers are measured, not blocking**: congestion appears as queueing
+  delay, and UGAL-L reads the same local output-queue occupancies it reads
+  in SNAPPR.  ``SimStats.max_queue_bytes`` reports how deep the 64 KB paper
+  buffers would have had to be.
+
+The event loop is a ``heapq`` over plain tuples
+``(time, seq, kind, payload)`` — the hot path allocates nothing else.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.routing.algorithms import RoutingPolicy
+from repro.routing.tables import RoutingTables
+from repro.sim.packet import Packet
+from repro.sim.stats import SimStats
+from repro.topology.base import Topology
+
+# Event kinds.
+_NIC_DONE = 0  # endpoint NIC finished serialising a packet into its router
+_ARRIVE = 1  # packet fully arrived at a router
+_PORT_DONE = 2  # router output port finished serialising a packet
+_EJECT_DONE = 3  # ejection port finished delivering to the endpoint
+_INJECT = 4  # open-loop traffic source fires
+
+
+@dataclass
+class SimConfig:
+    """Hardware parameters (defaults follow the paper's Section VI setup)."""
+
+    concentration: int = 4
+    link_bandwidth_gbps: float = 100.0  # EDR-class links
+    switch_latency_ns: float = 100.0
+    link_latency_ns: float = 10.0  # ~2 m cable at 5 ns/m
+    packet_bytes: int = 4096
+    buffer_bytes: int = 64 * 1024  # per-(link, VC) input buffer
+    #: When True, the per-(link, VC) input buffers actually block: a port
+    #: may only start transmitting when the downstream buffer has room, and
+    #: a packet holds its buffer until it fully departs the router.  This is
+    #: the credit-based mode in which virtual-channel deadlock avoidance
+    #: (Section V-A) is load-bearing: cyclic buffer dependencies on a single
+    #: VC genuinely deadlock (see tests/test_sim_deadlock.py).  Default off
+    #: = measured-but-unbounded buffers (see module docstring).
+    finite_buffers: bool = False
+
+    @property
+    def bytes_per_ns(self) -> float:
+        return self.link_bandwidth_gbps / 8.0
+
+
+class NetworkSimulator:
+    """Simulate one topology + routing policy + traffic workload."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        routing: RoutingPolicy,
+        config: SimConfig,
+        tables: RoutingTables | None = None,
+    ) -> None:
+        self.topo = topo
+        self.config = config
+        self.routing = routing
+        self.tables = tables if tables is not None else routing.tables
+        g = topo.graph
+        self.n_routers = g.n
+        self.n_endpoints = g.n * config.concentration
+        self.n_vcs = routing.required_vcs()
+
+        n_dir = len(g.indices)
+        # Router output ports (one per directed edge).
+        self._port_busy = np.zeros(n_dir, dtype=bool)
+        self._port_bytes = np.zeros(n_dir, dtype=np.int64)
+        self._port_queues: list[list[deque] | None] = [None] * n_dir
+        self._port_rr: np.ndarray = np.zeros(n_dir, dtype=np.int64)
+        # Downstream input-buffer occupancy per (directed edge, VC); only
+        # enforced when config.finite_buffers.
+        self._buf_used = (
+            np.zeros((n_dir, self.n_vcs), dtype=np.int64)
+            if config.finite_buffers
+            else None
+        )
+        # Endpoint NIC injection and ejection ports.
+        n_ep = self.n_endpoints
+        self._nic_busy = np.zeros(n_ep, dtype=bool)
+        self._nic_queues: list[deque] = [deque() for _ in range(n_ep)]
+        self._ej_busy = np.zeros(n_ep, dtype=bool)
+        self._ej_queues: list[deque] = [deque() for _ in range(n_ep)]
+
+        self._events: list[tuple] = []
+        self._seq = itertools.count()
+        self._pid = itertools.count()
+        self.now = 0.0
+        self.stats = SimStats()
+        self._sources: list = []  # open-loop traffic sources
+        self.on_delivery = None  # optional callback(pkt, t)
+
+    # -- public API --------------------------------------------------------
+    def endpoint_router(self, ep: int) -> int:
+        """Router hosting endpoint ``ep`` (standard sequential attachment)."""
+        return ep // self.config.concentration
+
+    def output_queue_bytes(self, router: int, next_router: int) -> int:
+        """Local queue occupancy of the port router->next_router (UGAL-L)."""
+        return int(self._port_bytes[self.tables.directed_edge_id(router, next_router)])
+
+    def send(self, src_ep: int, dst_ep: int, size: int | None = None, tag=None,
+             t: float | None = None) -> Packet | None:
+        """Enqueue one message at ``src_ep``'s NIC; returns the packet.
+
+        Self-sends complete instantly (no network traversal) and return None
+        after invoking the delivery callback.
+        """
+        t = self.now if t is None else t
+        size = self.config.packet_bytes if size is None else int(size)
+        if src_ep == dst_ep:
+            if self.on_delivery is not None:
+                self.on_delivery(
+                    Packet(-1, src_ep, dst_ep, size, t, self.endpoint_router(dst_ep),
+                           tag=tag),
+                    t,
+                )
+            return None
+        pkt = Packet(
+            next(self._pid), src_ep, dst_ep, size, t,
+            self.endpoint_router(dst_ep), tag=tag,
+        )
+        self.stats.n_injected += 1
+        self.stats.t_first_inject = min(self.stats.t_first_inject, t)
+        q = self._nic_queues[src_ep]
+        if self._nic_busy[src_ep]:
+            q.append(pkt)
+        else:
+            self._nic_busy[src_ep] = True
+            self._push(t + pkt.size / self.config.bytes_per_ns, _NIC_DONE,
+                       (src_ep, pkt))
+        return pkt
+
+    def add_open_loop_source(self, source) -> None:
+        """Register an open-loop traffic source (see sim.traffic)."""
+        self._sources.append(source)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> SimStats:
+        """Drain the event queue; returns the stats object.
+
+        With ``finite_buffers``, a run that drains its events while packets
+        remain undelivered has genuinely *deadlocked* (cyclic buffer
+        dependencies — exactly what Section V-A's VC scheme prevents); the
+        returned stats carry ``deadlocked=True`` in that case.
+        """
+        for src in self._sources:
+            src.start(self)
+        n_ev = 0
+        while self._events:
+            t, _, kind, payload = heapq.heappop(self._events)
+            if until is not None and t > until:
+                break
+            self.now = t
+            self._dispatch(kind, payload, t)
+            n_ev += 1
+            if max_events is not None and n_ev > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        if until is None and max_events is None:
+            undelivered = self.stats.n_injected - len(self.stats.latencies_ns)
+            if undelivered > 0 and self.config.finite_buffers:
+                self.stats.deadlocked = True
+                self.stats.undelivered = undelivered
+        return self.stats
+
+    # -- internals ----------------------------------------------------------
+    def _push(self, t: float, kind: int, payload) -> None:
+        heapq.heappush(self._events, (t, next(self._seq), kind, payload))
+
+    def _dispatch(self, kind: int, payload, t: float) -> None:
+        if kind == _PORT_DONE:
+            self._port_done(payload, t)
+        elif kind == _ARRIVE:
+            self._arrive(payload, t)
+        elif kind == _NIC_DONE:
+            self._nic_done(payload, t)
+        elif kind == _EJECT_DONE:
+            self._eject_done(payload, t)
+        elif kind == _INJECT:
+            source, = payload
+            source.fire(self, t)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {kind}")
+
+    def _nic_done(self, payload, t: float) -> None:
+        ep, pkt = payload
+        # Packet reaches its injection router after the cable delay.
+        self._push(t + self.config.link_latency_ns, _ARRIVE,
+                   (self.endpoint_router(ep), pkt, True))
+        q = self._nic_queues[ep]
+        if q:
+            nxt = q.popleft()
+            self._push(t + nxt.size / self.config.bytes_per_ns, _NIC_DONE,
+                       (ep, nxt))
+        else:
+            self._nic_busy[ep] = False
+
+    def _arrive(self, payload, t: float) -> None:
+        router, pkt, is_source = payload
+        if router == pkt.dst_router:
+            self._eject(router, pkt, t)
+            return
+        if is_source:
+            self.routing.on_source(self, router, pkt)
+            if pkt.intermediate is not None:
+                self.stats.valiant_choices += 1
+            else:
+                self.stats.minimal_choices += 1
+        nxt = self.routing.next_hop(self, router, pkt)
+        eid = self.tables.directed_edge_id(router, nxt)
+        t_ready = t + self.config.switch_latency_ns
+        vc = min(pkt.hops, self.n_vcs - 1)
+        self._enqueue_port(eid, nxt, pkt, vc, t_ready)
+
+    def _enqueue_port(self, eid: int, next_router: int, pkt: Packet, vc: int,
+                      t: float) -> None:
+        self._port_bytes[eid] += pkt.size
+        if self._port_bytes[eid] > self.stats.max_queue_bytes:
+            self.stats.max_queue_bytes = int(self._port_bytes[eid])
+        if not self._port_busy[eid] and self._buf_used is None:
+            # Fast path: idle port, unbounded buffers.
+            self._port_busy[eid] = True
+            self._push(t + pkt.size / self.config.bytes_per_ns, _PORT_DONE,
+                       (eid, pkt, next_router, vc))
+            return
+        qs = self._port_queues[eid]
+        if qs is None:
+            qs = [deque() for _ in range(self.n_vcs)]
+            self._port_queues[eid] = qs
+        qs[vc].append((pkt, next_router))
+        if not self._port_busy[eid]:
+            self._try_start(eid, t)
+
+    def _buffer_has_room(self, eid: int, vc: int, size: int) -> bool:
+        used = int(self._buf_used[eid, vc])
+        # A buffer always admits at least one packet, even an oversized one.
+        return used == 0 or used + size <= self.config.buffer_bytes
+
+    def _try_start(self, eid: int, t: float) -> None:
+        """Start the next transmittable packet on an idle port (RR over VCs).
+
+        With finite buffers a VC whose downstream input buffer is full is
+        skipped; if every queued VC is blocked the port stays idle until a
+        buffer-release retries it.
+        """
+        if self._port_busy[eid]:
+            return
+        qs = self._port_queues[eid]
+        if qs is None:
+            return
+        start = int(self._port_rr[eid])
+        for off in range(1, self.n_vcs + 1):
+            vc = (start + off) % self.n_vcs
+            if not qs[vc]:
+                continue
+            head_pkt, head_next = qs[vc][0]
+            if self._buf_used is not None and not self._buffer_has_room(
+                eid, vc, head_pkt.size
+            ):
+                continue
+            qs[vc].popleft()
+            self._port_rr[eid] = vc
+            self._port_busy[eid] = True
+            if self._buf_used is not None:
+                self._buf_used[eid, vc] += head_pkt.size
+            self._push(t + head_pkt.size / self.config.bytes_per_ns,
+                       _PORT_DONE, (eid, head_pkt, head_next, vc))
+            return
+
+    def _release_buffer(self, pkt: Packet, t: float) -> None:
+        """Free the input buffer the packet held and retry its feeder port."""
+        if self._buf_used is None or pkt.occupies_edge < 0:
+            return
+        self._buf_used[pkt.occupies_edge, pkt.occupies_vc] -= pkt.size
+        self._try_start(pkt.occupies_edge, t)
+        pkt.occupies_edge = -1
+
+    def _port_done(self, payload, t: float) -> None:
+        eid, pkt, next_router, vc = payload
+        self._port_bytes[eid] -= pkt.size
+        pkt.hops += 1
+        # The packet has fully left the previous router: release the input
+        # buffer it was holding there and occupy the one it just filled.
+        self._release_buffer(pkt, t)
+        if self._buf_used is not None:
+            pkt.occupies_edge = eid
+            pkt.occupies_vc = vc
+        self._push(t + self.config.link_latency_ns, _ARRIVE,
+                   (next_router, pkt, False))
+        self._port_busy[eid] = False
+        self._try_start(eid, t)
+
+    def _eject(self, router: int, pkt: Packet, t: float) -> None:
+        ep = pkt.dst_ep
+        t_ready = t + self.config.switch_latency_ns
+        if self._ej_busy[ep]:
+            self._ej_queues[ep].append(pkt)
+        else:
+            self._ej_busy[ep] = True
+            self._push(t_ready + pkt.size / self.config.bytes_per_ns,
+                       _EJECT_DONE, (ep, pkt))
+
+    def _eject_done(self, payload, t: float) -> None:
+        ep, pkt = payload
+        self._release_buffer(pkt, t)
+        t_deliver = t + self.config.link_latency_ns
+        self.stats.record_delivery(
+            t_deliver - pkt.t_created, pkt.hops, pkt.size, t_deliver
+        )
+        if self.on_delivery is not None:
+            self.on_delivery(pkt, t_deliver)
+        q = self._ej_queues[ep]
+        if q:
+            nxt = q.popleft()
+            self._push(t + nxt.size / self.config.bytes_per_ns, _EJECT_DONE,
+                       (ep, nxt))
+        else:
+            self._ej_busy[ep] = False
+
+    # Used by traffic sources to schedule their own firings.
+    def schedule_inject(self, t: float, source) -> None:
+        self._push(t, _INJECT, (source,))

@@ -1,0 +1,75 @@
+"""The packet record flowing through the simulator."""
+
+from __future__ import annotations
+
+
+class Packet:
+    """One network packet (coarse-grained message unit, as in SNAPPR).
+
+    Attributes
+    ----------
+    pid:
+        Unique id.
+    src_ep / dst_ep:
+        Endpoint (NIC) ids.
+    size:
+        Bytes on the wire.
+    t_created:
+        Creation (injection-queue entry) time in ns.
+    hops:
+        Network hops taken so far; doubles as the VC index under the
+        hop-increment deadlock-avoidance scheme.
+    intermediate / phase:
+        Valiant state: the chosen intermediate router and whether the packet
+        is still heading to it (phase 0) or onward to the destination.
+    dst_router:
+        Destination router (dst_ep // concentration), cached.
+    tag:
+        Opaque caller payload (the motif runner stores message ids here).
+    """
+
+    __slots__ = (
+        "pid",
+        "src_ep",
+        "dst_ep",
+        "size",
+        "t_created",
+        "hops",
+        "intermediate",
+        "phase",
+        "dst_router",
+        "tag",
+        "occupies_edge",
+        "occupies_vc",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        src_ep: int,
+        dst_ep: int,
+        size: int,
+        t_created: float,
+        dst_router: int,
+        tag=None,
+    ) -> None:
+        self.pid = pid
+        self.src_ep = src_ep
+        self.dst_ep = dst_ep
+        self.size = size
+        self.t_created = t_created
+        self.hops = 0
+        self.intermediate = None
+        self.phase = 0
+        self.dst_router = dst_router
+        self.tag = tag
+        # Finite-buffer mode: the (directed edge, VC) input buffer this
+        # packet currently holds (-1 = none, e.g. fresh from the NIC).
+        self.occupies_edge = -1
+        self.occupies_vc = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet(#{self.pid} ep{self.src_ep}->ep{self.dst_ep} "
+            f"{self.size}B hops={self.hops})"
+        )

@@ -1,0 +1,39 @@
+"""Rank placement (Section VI-B).
+
+When a job uses fewer ranks than the machine has endpoints
+(under-subscription, e.g. 8192 ranks on ~8.7K endpoints), the paper
+allocates physical nodes to the job *randomly* and then assigns MPI ranks
+sequentially over the chosen nodes in the topology's standard ordering (for
+SpectralFly, the unstructured order the Elzinga construction emits — which
+is exactly our BFS discovery order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.rng import as_rng
+
+
+def place_ranks(
+    n_ranks: int,
+    n_endpoints: int,
+    seed: int | np.random.Generator | None = 0,
+    strategy: str = "random-nodes",
+) -> np.ndarray:
+    """Return ``rank_to_endpoint`` of length ``n_ranks``.
+
+    ``random-nodes``: random endpoint subset, ranks filled in ascending
+    endpoint order (the paper's under-subscription protocol).
+    ``sequential``: first ``n_ranks`` endpoints in standard order.
+    """
+    if n_ranks > n_endpoints:
+        raise ParameterError(f"{n_ranks} ranks > {n_endpoints} endpoints")
+    if strategy == "sequential" or n_ranks == n_endpoints:
+        return np.arange(n_ranks, dtype=np.int64)
+    if strategy == "random-nodes":
+        rng = as_rng(seed)
+        chosen = rng.choice(n_endpoints, size=n_ranks, replace=False)
+        return np.sort(chosen).astype(np.int64)
+    raise ParameterError(f"unknown placement strategy {strategy!r}")

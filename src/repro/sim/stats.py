@@ -1,0 +1,61 @@
+"""Simulation statistics collection and summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SimStats:
+    """Per-run accumulators; summarised once the simulation drains."""
+
+    latencies_ns: list[float] = field(default_factory=list)
+    hops: list[int] = field(default_factory=list)
+    bytes_delivered: int = 0
+    t_first_inject: float = float("inf")
+    t_last_delivery: float = 0.0
+    n_injected: int = 0
+    max_queue_bytes: int = 0
+    valiant_choices: int = 0
+    minimal_choices: int = 0
+    deadlocked: bool = False
+    undelivered: int = 0
+
+    def record_delivery(self, latency_ns: float, hops: int, size: int, t: float) -> None:
+        self.latencies_ns.append(latency_ns)
+        self.hops.append(hops)
+        self.bytes_delivered += size
+        self.t_last_delivery = max(self.t_last_delivery, t)
+
+    def summary(self) -> dict:
+        """Headline metrics: the paper's 'maximum time taken across all the
+        messages' plus mean/median/p99 latency and delivered throughput."""
+        lat = np.asarray(self.latencies_ns, dtype=np.float64)
+        if len(lat) == 0:
+            return {
+                "delivered": 0,
+                "deadlocked": self.deadlocked,
+                "undelivered": self.undelivered,
+            }
+        makespan = self.t_last_delivery - self.t_first_inject
+        return {
+            "deadlocked": self.deadlocked,
+            "undelivered": self.undelivered,
+            "delivered": int(len(lat)),
+            "max_latency_ns": float(lat.max()),
+            "mean_latency_ns": float(lat.mean()),
+            "p50_latency_ns": float(np.percentile(lat, 50)),
+            "p99_latency_ns": float(np.percentile(lat, 99)),
+            "mean_hops": float(np.mean(self.hops)),
+            "makespan_ns": float(makespan),
+            "throughput_gbps": float(
+                8.0 * self.bytes_delivered / makespan if makespan > 0 else 0.0
+            ),
+            "max_queue_bytes": int(self.max_queue_bytes),
+            "valiant_fraction": (
+                self.valiant_choices
+                / max(1, self.valiant_choices + self.minimal_choices)
+            ),
+        }

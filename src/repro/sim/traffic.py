@@ -1,0 +1,188 @@
+"""Synthetic traffic patterns (Section VI-C1).
+
+Each pattern maps a source *rank* to a destination rank by permuting the bit
+representation of the source, exactly as the paper describes:
+
+* ``random`` — uniform random destination per packet (irregular/graph apps);
+* ``shuffle`` — rotate left by 1 bit (FFT, sorting);
+* ``reverse`` — reverse the bits (FFT butterflies);
+* ``transpose`` — swap the high and low halves (matrix transpose);
+* ``complement`` — flip all bits (worst-case bisection stress, extra).
+
+Open-loop injection draws Poisson interarrivals at ``offered_load`` fraction
+of the endpoint link bandwidth, the paper's congestion knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.rng import as_rng
+
+
+def _require_pow2(n_ranks: int) -> int:
+    b = n_ranks.bit_length() - 1
+    if 1 << b != n_ranks:
+        raise ParameterError(f"bit-permutation patterns need 2^b ranks, got {n_ranks}")
+    return b
+
+
+class TrafficPattern:
+    """Base: rank-to-rank destination map."""
+
+    name = "abstract"
+
+    def __init__(self, n_ranks: int) -> None:
+        self.n_ranks = n_ranks
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+
+class UniformRandomTraffic(TrafficPattern):
+    name = "random"
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        dst = int(rng.integers(self.n_ranks - 1))
+        return dst if dst < src else dst + 1  # uniform over ranks != src
+
+
+class BitShuffleTraffic(TrafficPattern):
+    name = "shuffle"
+
+    def __init__(self, n_ranks: int) -> None:
+        super().__init__(n_ranks)
+        self.bits = _require_pow2(n_ranks)
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:  # noqa: ARG002
+        b = self.bits
+        return ((src << 1) | (src >> (b - 1))) & (self.n_ranks - 1)
+
+
+class BitReverseTraffic(TrafficPattern):
+    name = "reverse"
+
+    def __init__(self, n_ranks: int) -> None:
+        super().__init__(n_ranks)
+        self.bits = _require_pow2(n_ranks)
+        self._table = np.array(
+            [int(format(i, f"0{self.bits}b")[::-1], 2) for i in range(n_ranks)],
+            dtype=np.int64,
+        )
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:  # noqa: ARG002
+        return int(self._table[src])
+
+
+class TransposeTraffic(TrafficPattern):
+    name = "transpose"
+
+    def __init__(self, n_ranks: int) -> None:
+        super().__init__(n_ranks)
+        self.bits = _require_pow2(n_ranks)
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:  # noqa: ARG002
+        half = self.bits // 2
+        lo = src & ((1 << half) - 1)
+        hi = src >> half
+        return (lo << (self.bits - half)) | hi
+
+
+class BitComplementTraffic(TrafficPattern):
+    name = "complement"
+
+    def __init__(self, n_ranks: int) -> None:
+        super().__init__(n_ranks)
+        _require_pow2(n_ranks)
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:  # noqa: ARG002
+        return ~src & (self.n_ranks - 1)
+
+
+class TornadoTraffic(TrafficPattern):
+    """dst = (src + ceil(N/2) - 1) mod N — the classic adversarial pattern
+    for minimal routing on rings/tori; on expanders it is just another
+    permutation, which is part of the SpectralFly story."""
+
+    name = "tornado"
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:  # noqa: ARG002
+        return (src + (self.n_ranks + 1) // 2 - 1) % self.n_ranks
+
+
+class NearestNeighborTraffic(TrafficPattern):
+    """dst = src + 1 (mod N) — the friendliest permutation; useful as the
+    low-stress baseline in sweeps."""
+
+    name = "neighbor"
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:  # noqa: ARG002
+        return (src + 1) % self.n_ranks
+
+
+_PATTERNS = {
+    cls.name: cls
+    for cls in (
+        UniformRandomTraffic,
+        BitShuffleTraffic,
+        BitReverseTraffic,
+        TransposeTraffic,
+        BitComplementTraffic,
+        TornadoTraffic,
+        NearestNeighborTraffic,
+    )
+}
+
+
+def make_traffic(name: str, n_ranks: int) -> TrafficPattern:
+    """Factory over the pattern names above."""
+    try:
+        return _PATTERNS[name](n_ranks)
+    except KeyError:
+        raise ParameterError(f"unknown pattern {name!r}; options {list(_PATTERNS)}")
+
+
+class OpenLoopSource:
+    """Poisson open-loop injector for one rank.
+
+    Fires ``packets_per_rank`` packets with exponential interarrivals whose
+    mean realises ``offered_load`` (fraction of endpoint link bandwidth).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        endpoint: int,
+        pattern: TrafficPattern,
+        rank_to_endpoint: np.ndarray,
+        offered_load: float,
+        packets_per_rank: int,
+        seed: int,
+    ) -> None:
+        if not 0.0 < offered_load <= 1.0:
+            raise ParameterError("offered_load must be in (0, 1]")
+        self.rank = rank
+        self.endpoint = endpoint
+        self.pattern = pattern
+        self.rank_to_endpoint = rank_to_endpoint
+        self.offered_load = offered_load
+        self.remaining = packets_per_rank
+        self.rng = as_rng(seed)
+
+    def start(self, net) -> None:
+        mean_gap = net.config.packet_bytes / (
+            self.offered_load * net.config.bytes_per_ns
+        )
+        self._mean_gap = mean_gap
+        net.schedule_inject(float(self.rng.exponential(mean_gap)), self)
+
+    def fire(self, net, t: float) -> None:
+        if self.remaining <= 0:
+            return
+        self.remaining -= 1
+        dst_rank = self.pattern.destination(self.rank, self.rng)
+        dst_ep = int(self.rank_to_endpoint[dst_rank])
+        net.send(self.endpoint, dst_ep, t=t)
+        if self.remaining > 0:
+            net.schedule_inject(t + float(self.rng.exponential(self._mean_gap)), self)

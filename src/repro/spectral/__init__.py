@@ -1,0 +1,45 @@
+"""Spectral graph analysis: eigenvalues, expansion, and the Ramanujan test."""
+
+from repro.spectral.eigen import (
+    adjacency_extremes,
+    lambda_g,
+    mu1,
+    normalized_laplacian_gap,
+    is_ramanujan,
+    spectral_gap,
+)
+from repro.spectral.bounds import (
+    alon_boppana_bound,
+    bisection_lower_bound,
+    cheeger_bounds,
+    expander_mixing_bound,
+    normalized_bisection_lower_bound,
+    ramanujan_bound,
+    tanner_vertex_expansion_bound,
+)
+from repro.spectral.reference import (
+    complete_graph_spectrum,
+    cycle_graph_spectrum,
+    hypercube_spectrum,
+    torus_spectrum,
+)
+
+__all__ = [
+    "adjacency_extremes",
+    "lambda_g",
+    "mu1",
+    "normalized_laplacian_gap",
+    "spectral_gap",
+    "is_ramanujan",
+    "ramanujan_bound",
+    "alon_boppana_bound",
+    "cheeger_bounds",
+    "tanner_vertex_expansion_bound",
+    "expander_mixing_bound",
+    "bisection_lower_bound",
+    "normalized_bisection_lower_bound",
+    "complete_graph_spectrum",
+    "cycle_graph_spectrum",
+    "hypercube_spectrum",
+    "torus_spectrum",
+]

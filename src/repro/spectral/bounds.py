@@ -1,0 +1,103 @@
+"""Spectral bounds from Section II and IV of the paper.
+
+Implements the Alon--Boppana lower bound, Cheeger-type expansion bounds,
+Tanner's vertex-isoperimetric bound, the expander mixing (discrepancy)
+inequality, and the Fiedler bisection-bandwidth lower bound the paper uses
+to bracket METIS estimates in Fig. 4.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.csr import CSRGraph
+from repro.spectral.eigen import lambda_g, mu1
+
+
+def ramanujan_bound(k: int) -> float:
+    """``2 sqrt(k - 1)`` — the asymptotically optimal lambda for k-regular."""
+    return 2.0 * math.sqrt(k - 1.0)
+
+
+def alon_boppana_bound(k: int, diameter: int) -> float:
+    """Alon--Boppana: lambda >= 2 sqrt(k-1) (1 - 2/D) - 2/D for diameter D."""
+    if diameter < 1:
+        raise ValueError("diameter must be >= 1")
+    return 2.0 * math.sqrt(k - 1.0) * (1.0 - 2.0 / diameter) - 2.0 / diameter
+
+
+def cheeger_bounds(g: CSRGraph) -> tuple[float, float]:
+    """Edge-expansion (Cheeger) bounds from the spectral gap.
+
+    For a k-regular graph with gap ``k - lambda_2``:
+    ``(k - lambda_2)/2 <= h_E(G) <= sqrt(2 k (k - lambda_2))``.
+    """
+    from repro.spectral.eigen import spectral_gap
+
+    k = g.degree()
+    gap = spectral_gap(g)
+    return gap / 2.0, math.sqrt(2.0 * k * gap)
+
+
+def tanner_vertex_expansion_bound(g: CSRGraph, set_fraction: float = 0.5) -> float:
+    """Tanner's bound on neighbourhood expansion |N(S)| / |S|.
+
+    For S with |S| = a*n:  |N(S)|/|S| >= k^2 / (lambda^2 + (k^2 - lambda^2) a).
+    With a = 1/2 this lower-bounds the vertex isoperimetric behaviour the
+    paper discusses (larger is better; Ramanujan graphs maximise it).
+    """
+    if not 0.0 < set_fraction <= 1.0:
+        raise ValueError("set_fraction must be in (0, 1]")
+    k = g.degree()
+    lam = lambda_g(g)
+    return k * k / (lam * lam + (k * k - lam * lam) * set_fraction)
+
+
+def expander_mixing_bound(g: CSRGraph, size_s: int, size_t: int) -> float:
+    """Discrepancy bound: max deviation of e(S, T) from its expectation.
+
+    |e(S,T) - k |S||T| / n| <= lambda sqrt(|S||T| (1-|S|/n)(1-|T|/n)).
+    This is the paper's "bottleneck-free between any two subsets" property
+    (Fig. 1b); the bound shrinks as lambda approaches the Ramanujan optimum.
+    """
+    n = g.n
+    k = g.degree()
+    lam = lambda_g(g)
+    _ = k
+    return lam * math.sqrt(
+        size_s * size_t * (1.0 - size_s / n) * (1.0 - size_t / n)
+    )
+
+
+def bisection_lower_bound(g: CSRGraph) -> float:
+    """Fiedler bound [33]: BW(G) >= a(G) * n / 4 for the algebraic
+    connectivity ``a(G) = k - lambda_2`` of a k-regular graph.
+
+    This is the bound the paper shades under the METIS points in Fig. 4
+    (lower right).
+    """
+    from repro.spectral.eigen import spectral_gap
+
+    return spectral_gap(g) * g.n / 4.0
+
+
+def normalized_bisection_lower_bound(g: CSRGraph) -> float:
+    """Fiedler bound normalised by total link count nk/2 (Fig. 4 upper right).
+
+    Equals ``(k - lambda_2) / 2k``; for Ramanujan graphs this is at least
+    ``(k - 2 sqrt(k-1)) / (2k)``, which exceeds SlimFly's asymptotic 1/3 for
+    k >= 35 (Section IV d states 36, conservatively).
+    """
+    from repro.spectral.eigen import spectral_gap
+
+    return spectral_gap(g) / (2.0 * g.degree())
+
+
+def lps_normalized_bisection_guarantee(k: int) -> float:
+    """Closed-form Ramanujan guarantee ``(k - 2 sqrt(k-1)) / (2k)``."""
+    return (k - 2.0 * math.sqrt(k - 1.0)) / (2.0 * k)
+
+
+def lps_mu1_guarantee(k: int) -> float:
+    """Closed-form Ramanujan guarantee ``(k - 2 sqrt(k-1)) / k`` for mu1."""
+    return (k - 2.0 * math.sqrt(k - 1.0)) / k

@@ -1,0 +1,40 @@
+"""Closed-form spectra of reference topologies.
+
+Used to validate the eigen pipeline (tests compare numerical extremes against
+these exact spectra) and to reproduce the observation of [10] that many
+classical supercomputing topologies are far from Ramanujan.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+
+def complete_graph_spectrum(n: int) -> np.ndarray:
+    """K_n: eigenvalue n-1 once and -1 with multiplicity n-1."""
+    return np.sort(np.concatenate([[-1.0] * (n - 1), [n - 1.0]]))
+
+
+def cycle_graph_spectrum(n: int) -> np.ndarray:
+    """C_n: 2 cos(2 pi j / n), j = 0..n-1."""
+    j = np.arange(n)
+    return np.sort(2.0 * np.cos(2.0 * np.pi * j / n))
+
+
+def hypercube_spectrum(d: int) -> np.ndarray:
+    """Q_d: eigenvalue d - 2i with multiplicity C(d, i)."""
+    from math import comb
+
+    vals = []
+    for i in range(d + 1):
+        vals.extend([float(d - 2 * i)] * comb(d, i))
+    return np.sort(np.array(vals))
+
+
+def torus_spectrum(dims: tuple[int, ...]) -> np.ndarray:
+    """k-ary torus: sums of per-dimension cycle eigenvalues."""
+    per_dim = [cycle_graph_spectrum(d) for d in dims]
+    vals = [sum(combo) for combo in itertools.product(*per_dim)]
+    return np.sort(np.array(vals))

@@ -1,0 +1,72 @@
+"""Spectral survey of classical supercomputing topologies.
+
+Section II cites [10] (by the same authors): "many supercomputing
+topologies are far from Ramanujan".  This module reproduces that survey for
+the classical families we generate — hypercube, k-ary torus, complete
+graph, cycle, random regular (Jellyfish) — reporting lambda(G) against the
+Ramanujan bound 2 sqrt(k-1) and the resulting spectral-gap deficit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.spectral.bounds import ramanujan_bound
+from repro.spectral.eigen import is_ramanujan, lambda_g, mu1
+
+
+def survey_row(name: str, g: CSRGraph) -> dict:
+    """One survey row: lambda(G), the bound, the ratio, and mu1."""
+    k = g.degree()
+    lam = lambda_g(g)
+    bound = ramanujan_bound(k)
+    return {
+        "topology": name,
+        "n": g.n,
+        "radix": k,
+        "lambda": round(lam, 3),
+        "ramanujan_bound": round(bound, 3),
+        "lambda_over_bound": round(lam / bound, 3),
+        "mu1": round(mu1(g), 3),
+        "ramanujan": is_ramanujan(g),
+    }
+
+
+def classical_survey(seed: int = 0) -> list[dict]:
+    """Survey the classical families at comparable small sizes.
+
+    Hypercubes and tori have lambda(G) = k - 2 and k - (2 - 2 cos(2 pi/m))
+    respectively — far above 2 sqrt(k-1) as k grows, which is the [10]
+    observation SpectralFly is designed to fix.
+    """
+    cases: list[tuple[str, Callable[[], CSRGraph]]] = [
+        ("hypercube Q8", lambda: hypercube_graph(8)),
+        ("torus 8x8x8", lambda: torus_graph((8, 8, 8))),
+        ("cycle C256", lambda: cycle_graph(256)),
+        ("complete K32", lambda: complete_graph(32)),
+        ("random 8-regular (Jellyfish)", lambda: random_regular_graph(256, 8, seed=seed)),
+    ]
+    rows = [survey_row(name, build()) for name, build in cases]
+    # And one LPS instance for contrast.
+    from repro.topology.lps import build_lps
+
+    lps = build_lps(11, 7)
+    rows.append(survey_row("LPS(11,7) (SpectralFly)", lps.graph))
+    return rows
+
+
+def hypercube_gap_deficit(d: int) -> float:
+    """Closed form: lambda(Q_d)/bound = (d-2) / (2 sqrt(d-1)).
+
+    Exceeds 1 (not Ramanujan) for every d >= 8, and grows ~ sqrt(d)/2.
+    """
+    return (d - 2) / (2.0 * math.sqrt(d - 1.0))

@@ -1,0 +1,43 @@
+"""Interconnection topologies: SpectralFly (LPS) and its competitors."""
+
+from repro.topology.base import Topology
+from repro.topology.lps import (
+    build_lps,
+    lps_design_space,
+    lps_feasible,
+    lps_num_vertices,
+)
+from repro.topology.mms import build_mms, build_slimfly
+from repro.topology.paley import build_paley
+from repro.topology.bundlefly import build_bundlefly
+from repro.topology.dragonfly import build_canonical_dragonfly, build_dragonfly
+from repro.topology.skywalk import build_skywalk
+from repro.topology.jellyfish import build_jellyfish
+from repro.topology.xpander import build_xpander
+from repro.topology.catalog import (
+    SIZE_CLASSES,
+    SIM_CONFIGS,
+    build_size_class,
+    feasible_sizes_per_radix,
+)
+
+__all__ = [
+    "Topology",
+    "build_lps",
+    "lps_feasible",
+    "lps_num_vertices",
+    "lps_design_space",
+    "build_mms",
+    "build_slimfly",
+    "build_paley",
+    "build_bundlefly",
+    "build_canonical_dragonfly",
+    "build_dragonfly",
+    "build_skywalk",
+    "build_jellyfish",
+    "build_xpander",
+    "SIZE_CLASSES",
+    "SIM_CONFIGS",
+    "build_size_class",
+    "feasible_sizes_per_radix",
+]

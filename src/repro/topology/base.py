@@ -1,0 +1,79 @@
+"""The Topology wrapper shared by every construction.
+
+A topology is its router graph plus naming/parameter metadata and an
+(optional) endpoint concentration.  Vertices are routers; edges are
+bidirectional links, exactly as in the paper's Section I conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphs.csr import CSRGraph
+
+
+@dataclass
+class Topology:
+    """A named router-level interconnect topology.
+
+    Attributes
+    ----------
+    name:
+        Human-readable instance name, e.g. ``"LPS(23,11)"``.
+    family:
+        Construction family: ``"LPS"``, ``"SlimFly"``, ``"BundleFly"``,
+        ``"DragonFly"``, ``"SkyWalk"``, ``"Jellyfish"``.
+    graph:
+        The router graph (:class:`CSRGraph`).
+    params:
+        Construction parameters (e.g. ``{"p": 23, "q": 11}``).
+    vertex_transitive:
+        True when the construction guarantees vertex-transitivity (Cayley
+        graphs: LPS; also MMS/SlimFly).  Metrics exploit this (girth from a
+        single BFS root).
+    """
+
+    name: str
+    family: str
+    graph: CSRGraph
+    params: dict[str, Any] = field(default_factory=dict)
+    vertex_transitive: bool = False
+
+    @property
+    def n_routers(self) -> int:
+        """Number of routers (graph vertices)."""
+        return self.graph.n
+
+    @property
+    def n_links(self) -> int:
+        """Number of bidirectional links (graph edges)."""
+        return self.graph.num_edges
+
+    @property
+    def radix(self) -> int:
+        """Router radix: the common degree of the router graph.
+
+        For the rare near-regular instances (general DragonFly with awkward
+        link budgets) this is the maximum degree — the number of ports a
+        router must provide.
+        """
+        degs = self.graph.degrees()
+        return int(degs.max()) if len(degs) else 0
+
+    def endpoints(self, concentration: int) -> int:
+        """Total endpoints when each router hosts ``concentration`` nodes."""
+        return self.n_routers * concentration
+
+    def describe(self) -> dict[str, Any]:
+        """Summary dict used by experiment tables."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "routers": self.n_routers,
+            "radix": self.radix,
+            "links": self.n_links,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Topology({self.name}: n={self.n_routers}, k={self.radix})"

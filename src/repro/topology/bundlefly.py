@@ -1,0 +1,101 @@
+"""BundleFly BF(p, s) — multi-star product of an MMS graph and a Paley graph.
+
+Following Lei et al. [2]: take the MMS graph on ``2 s^2`` "groups"; expand
+every group into ``p`` routers forming a Paley graph P(p); every MMS edge
+becomes a *bundle* of ``p`` parallel links (one multicore fibre), realised
+as a perfect matching between the two groups.  The result has ``2 p s^2``
+routers of radix ``(p-1)/2 + (3s - delta)/2``.
+
+The matchings are the linear maps ``i -> alpha * i`` over GF(p) with
+``alpha`` a fixed quadratic *non-residue*.  This is the star-product trick
+that gives diameter 3: for routers (g1, i), (g2, j) with the groups at MMS
+distance 2, the two candidate 3-hop shapes (bundle-bundle-Paley and
+bundle-Paley-bundle) require ``j - alpha^2 i`` or ``(j - alpha^2 i)/alpha``
+to be a square — and exactly one of them always is when ``alpha`` is a
+non-residue.  Identity matchings would give diameter 4 (and a visibly
+larger average distance than the paper's Table I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra.gf import GF
+from repro.errors import ConstructionError
+from repro.graphs.csr import CSRGraph
+from repro.topology.base import Topology
+from repro.topology.mms import build_mms, mms_radix
+from repro.topology.paley import build_paley
+
+
+def build_bundlefly(
+    p: int, s: int, validate: bool = True, matching: str = "nonresidue"
+) -> Topology:
+    """Construct BundleFly BF(p, s).
+
+    Parameters
+    ----------
+    p:
+        Paley parameter: prime power with ``p = 1 (mod 4)``.
+    s:
+        MMS parameter: prime power, ``s != 2 (mod 4)``.
+    matching:
+        Bundle matching rule.  ``"nonresidue"`` (default) is the star
+        product's diameter-3 construction; ``"identity"`` is the naive
+        diameter-4 variant, kept as an ablation of this design choice
+        (see benchmarks/test_ablations.py).
+    """
+    if matching not in ("nonresidue", "identity"):
+        raise ConstructionError(f"unknown bundle matching {matching!r}")
+    mms = build_mms(s, validate=validate)
+    paley = build_paley(p, validate=validate)
+    n_groups = mms.graph.n
+    n = n_groups * p
+
+    edges = []
+    # Intra-group Paley edges, replicated per group.
+    paley_edges = paley.graph.edge_array()
+    group_base = np.arange(n_groups, dtype=np.int64)[:, None, None] * p
+    intra = paley_edges[None, :, :] + group_base  # (groups, m_paley, 2)
+    edges.append(intra.reshape(-1, 2))
+    # Bundle edges: the non-residue linear matching i -> alpha * i per MMS
+    # edge (see module docstring for why this yields diameter 3).
+    field = GF(p)
+    lanes = np.arange(p, dtype=np.int64)
+    if matching == "nonresidue":
+        alpha = _nonresidue(field)
+        mapped = field.mul(lanes, alpha).astype(np.int64)
+    else:
+        mapped = lanes
+    mms_edges = mms.graph.edge_array()
+    src = mms_edges[:, 0][:, None] * p + lanes[None, :]
+    dst = mms_edges[:, 1][:, None] * p + mapped[None, :]
+    edges.append(np.stack([src.reshape(-1), dst.reshape(-1)], axis=1))
+
+    graph = CSRGraph.from_edges(n, np.concatenate(edges))
+    topo = Topology(
+        name=f"BF({p},{s})",
+        family="BundleFly",
+        graph=graph,
+        params={"p": p, "s": s, "matching": matching},
+        vertex_transitive=True,
+    )
+    if validate:
+        want = (p - 1) // 2 + mms_radix(s)
+        degs = graph.degrees()
+        if not np.all(degs == want):
+            raise ConstructionError(
+                f"BF({p},{s}): degree range [{degs.min()},{degs.max()}], "
+                f"want {want}"
+            )
+        if graph.n != 2 * p * s * s:
+            raise ConstructionError(f"BF({p},{s}): wrong vertex count {graph.n}")
+    return topo
+
+
+def _nonresidue(field: GF) -> int:
+    """Smallest-code quadratic non-residue of GF(p), p = 1 (mod 4)."""
+    for a in range(2, field.q):
+        if not field.is_square(a):
+            return a
+    raise ConstructionError(f"no non-residue in GF({field.q})?")

@@ -1,0 +1,168 @@
+"""The paper's topology instances: Table I size classes, simulation configs,
+and design-space feasibility sweeps (Fig. 4)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nt.primes import is_prime_power, primes_below
+from repro.topology.base import Topology
+from repro.topology.bundlefly import build_bundlefly
+from repro.topology.dragonfly import build_canonical_dragonfly, build_dragonfly
+from repro.topology.lps import build_lps, lps_design_space
+from repro.topology.mms import mms_delta, mms_radix, build_slimfly
+
+#: Table I — five size classes of {LPS, SlimFly, BundleFly, DragonFly}
+#: instances with matched radix/size (paper Section IV).
+SIZE_CLASSES: list[dict] = [
+    {
+        "class": 1,
+        "LPS": ("LPS", {"p": 11, "q": 7}),
+        "SlimFly": ("SF", {"q": 7}),
+        "BundleFly": ("BF", {"p": 13, "s": 3}),
+        "DragonFly": ("DF", {"a": 12}),
+    },
+    {
+        "class": 2,
+        "LPS": ("LPS", {"p": 23, "q": 11}),
+        "SlimFly": ("SF", {"q": 17}),
+        "BundleFly": ("BF", {"p": 37, "s": 3}),
+        "DragonFly": ("DF", {"a": 24}),
+    },
+    {
+        "class": 3,
+        "LPS": ("LPS", {"p": 53, "q": 17}),
+        "SlimFly": ("SF", {"q": 37}),
+        "BundleFly": ("BF", {"p": 97, "s": 4}),
+        "DragonFly": ("DF", {"a": 53}),
+    },
+    {
+        "class": 4,
+        "LPS": ("LPS", {"p": 71, "q": 17}),
+        "SlimFly": ("SF", {"q": 47}),
+        "BundleFly": ("BF", {"p": 137, "s": 4}),
+        "DragonFly": ("DF", {"a": 69}),
+    },
+    {
+        "class": 5,
+        "LPS": ("LPS", {"p": 89, "q": 19}),
+        "SlimFly": ("SF", {"q": 59}),
+        "BundleFly": ("BF", {"p": 157, "s": 5}),
+        "DragonFly": ("DF", {"a": 85}),
+    },
+]
+
+#: Section VI simulation configurations.  ``paper`` reproduces the ~8.7K
+#: endpoint setup (1092-1458 routers); ``small`` is the laptop-scale default
+#: used by the benchmark harness (same families, class-1/2 sizes, matched
+#: endpoint counts — see DESIGN.md's scale substitution note).
+SIM_CONFIGS: dict[str, dict] = {
+    "paper": {
+        "n_ranks": 8192,
+        "topologies": {
+            "SpectralFly": {
+                "build": lambda: build_lps(23, 13),
+                "concentration": 8,
+            },
+            "DragonFly": {
+                "build": lambda: build_dragonfly(a=16, h=8, g=69),
+                "concentration": 8,
+            },
+            "SlimFly": {
+                "build": lambda: build_slimfly(27),
+                "concentration": 8,
+            },
+            "BundleFly": {
+                "build": lambda: build_bundlefly(9, 9),
+                "concentration": 6,
+            },
+        },
+    },
+    "small": {
+        "n_ranks": 512,
+        "topologies": {
+            "SpectralFly": {
+                "build": lambda: build_lps(11, 7),  # 168 routers
+                "concentration": 4,  # 672 endpoints
+            },
+            "DragonFly": {
+                "build": lambda: build_canonical_dragonfly(12),  # 156 routers
+                "concentration": 4,  # 624 endpoints
+            },
+            "SlimFly": {
+                "build": lambda: build_slimfly(9),  # 162 routers
+                "concentration": 4,  # 648 endpoints
+            },
+            "BundleFly": {
+                "build": lambda: build_bundlefly(13, 3),  # 234 routers
+                "concentration": 3,  # 702 endpoints
+            },
+        },
+    },
+}
+
+
+def build_size_class(
+    class_id: int, families: tuple[str, ...] | None = None
+) -> dict[str, Topology]:
+    """Build all (or the selected) Table I topologies of one size class."""
+    spec = next(s for s in SIZE_CLASSES if s["class"] == class_id)
+    if families is None:
+        families = ("LPS", "SlimFly", "BundleFly", "DragonFly")
+    out: dict[str, Topology] = {}
+    for fam in families:
+        kind, params = spec[fam]
+        out[fam] = _build(kind, params)
+    return out
+
+
+def _build(kind: str, params: dict) -> Topology:
+    if kind == "LPS":
+        return build_lps(params["p"], params["q"])
+    if kind == "SF":
+        return build_slimfly(params["q"])
+    if kind == "BF":
+        return build_bundlefly(params["p"], params["s"])
+    if kind == "DF":
+        return build_canonical_dragonfly(params["a"])
+    raise ValueError(f"unknown topology kind {kind}")
+
+
+def feasible_sizes_per_radix(
+    max_vertices: int = 10_000, max_param: int = 300
+) -> dict[str, list[tuple[int, int]]]:
+    """Feasible (radix, n_vertices) pairs per family — Fig. 4 (lower left).
+
+    Closed-form counting only; no graphs are built.
+    """
+    out: dict[str, list[tuple[int, int]]] = {
+        "LPS": [],
+        "SlimFly": [],
+        "BundleFly": [],
+        "DragonFly": [],
+    }
+    for row in lps_design_space(max_param, max_param):
+        if row["vertices"] <= max_vertices:
+            out["LPS"].append((row["radix"], row["vertices"]))
+    for q in range(3, max_param):
+        if q % 4 == 2 or not is_prime_power(q):
+            continue
+        n = 2 * q * q
+        if n <= max_vertices:
+            out["SlimFly"].append((mms_radix(q), n))
+    for p in range(5, max_param):
+        if p % 4 != 1 or not is_prime_power(p):
+            continue
+        for s in range(3, max_param):
+            if s % 4 == 2 or not is_prime_power(s):
+                continue
+            n = 2 * p * s * s
+            if n <= max_vertices:
+                out["BundleFly"].append(((p - 1) // 2 + mms_radix(s), n))
+    for a in range(2, max_param):
+        n = a * (a + 1)
+        if n <= max_vertices:
+            out["DragonFly"].append((a, n))
+    for fam in out:
+        out[fam] = sorted(set(out[fam]))
+    return out

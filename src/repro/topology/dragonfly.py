@@ -1,0 +1,135 @@
+"""DragonFly topologies: the canonical DF(a) and the general DF(a, h, g).
+
+The canonical DragonFly of the paper's Section IV has ``a + 1`` fully
+connected groups of ``a`` routers; each router has ``a - 1`` local links and
+exactly one global link, so the radix is ``a`` and every pair of groups is
+joined by exactly one global link.
+
+The general variant (used for the paper's simulations: a=16, h=8, g=69
+matching the recommended ``p = k/4, h = k/4, a = k/2`` balance) gives each
+router ``h`` global links and distributes each group's ``a*h`` global links
+over the other ``g - 1`` groups.  Both variants support the *absolute* and
+*circulant* global link arrangements of Hastings et al. [36]; the paper uses
+circulant for its better bisection bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConstructionError, ParameterError
+from repro.graphs.csr import CSRGraph
+from repro.topology.base import Topology
+
+
+def build_canonical_dragonfly(a: int, arrangement: str = "circulant") -> Topology:
+    """Canonical DF(a): ``a(a+1)`` routers of radix ``a``."""
+    if a < 2:
+        raise ParameterError("DragonFly needs a >= 2")
+    n_groups = a + 1
+    n = a * n_groups
+    edges = []
+    # Local links: complete graph within each group.
+    iu, iv = np.triu_indices(a, k=1)
+    for g in range(n_groups):
+        base = g * a
+        edges.append(np.stack([base + iu, base + iv], axis=1))
+    # Global links: one per router, one per group pair.
+    glob = []
+    for g in range(n_groups):
+        for j in range(a):
+            if arrangement == "circulant":
+                tg = (g + j + 1) % n_groups
+                tr = a - 1 - j
+            elif arrangement == "absolute":
+                tg = j if j < g else j + 1
+                tr = g if g < tg else g - 1
+            else:
+                raise ParameterError(f"unknown arrangement {arrangement!r}")
+            glob.append((g * a + j, tg * a + tr))
+    edges.append(np.array(glob, dtype=np.int64))
+    graph = CSRGraph.from_edges(n, np.concatenate(edges))
+    topo = Topology(
+        name=f"DF({a})",
+        family="DragonFly",
+        graph=graph,
+        params={"a": a, "arrangement": arrangement},
+        vertex_transitive=False,
+    )
+    degs = graph.degrees()
+    if not np.all(degs == a):
+        raise ConstructionError(
+            f"DF({a}): degree range [{degs.min()},{degs.max()}], want {a}"
+        )
+    return topo
+
+
+def build_dragonfly(
+    a: int, h: int, g: int, arrangement: str = "circulant"
+) -> Topology:
+    """General DragonFly with ``g`` groups of ``a`` routers, ``h`` global
+    links per router.
+
+    Global links are distributed over group-pair distances as evenly as
+    possible (circulant arrangement [36]); within a group, link endpoints
+    are dealt to routers round-robin so every router ends up with exactly
+    ``h`` global ports.
+    """
+    if g < 3 or a < 2 or h < 1:
+        raise ParameterError("need g >= 3, a >= 2, h >= 1")
+    per_group = a * h
+    if arrangement != "circulant":
+        raise ParameterError(
+            "general DragonFly supports the circulant arrangement only "
+            "(the one the paper simulates); canonical DF(a) offers both"
+        )
+
+    n = a * g
+    edges = []
+    iu, iv = np.triu_indices(a, k=1)
+    for gi in range(g):
+        base = gi * a
+        edges.append(np.stack([base + iu, base + iv], axis=1))
+
+    # Distribute each group's global links across circulant distances.
+    # For odd g every unordered pair {G, G+d}, d <= (g-1)/2, gets m_d links;
+    # for even g the antipodal distance g/2 pairs each group once per link.
+    half = (g - 1) // 2
+    budget = per_group // 2  # links counted once per unordered pair, per group
+    m = np.zeros(half + 1, dtype=np.int64)
+    if half > 0:
+        base_links, extra = divmod(budget, half)
+        m[1:] = base_links
+        m[1 : extra + 1] += 1
+    if 2 * m[1:].sum() != per_group and g % 2 == 1:
+        raise ConstructionError("global link budget must be even per group")
+
+    port_counter = np.zeros(n, dtype=np.int64)  # used global ports per router
+
+    def next_router(group: int) -> int:
+        base = group * a
+        r = int(np.argmin(port_counter[base : base + a]))
+        port_counter[base + r] += 1
+        return base + r
+
+    glob = []
+    for d in range(1, half + 1):
+        for _copy in range(int(m[d])):
+            for gi in range(g):
+                src = next_router(gi)
+                dst = next_router((gi + d) % g)
+                glob.append((src, dst))
+    edges.append(np.array(glob, dtype=np.int64))
+    graph = CSRGraph.from_edges(n, np.concatenate(edges), allow_parallel=False)
+    topo = Topology(
+        name=f"DF({a},{h},{g})",
+        family="DragonFly",
+        graph=graph,
+        params={"a": a, "h": h, "g": g, "arrangement": arrangement},
+        vertex_transitive=False,
+    )
+    want = (a - 1) + h
+    degs = graph.degrees()
+    if degs.max() > want:
+        raise ConstructionError(f"DF({a},{h},{g}): max degree {degs.max()} > {want}")
+    return topo

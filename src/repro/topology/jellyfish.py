@@ -1,0 +1,27 @@
+"""Jellyfish — the random regular topology [6].
+
+The paper uses Jellyfish as the canonical randomized baseline: its spectral
+gap is strong but provably sub-Ramanujan (Friedman's theorem), which the
+spectral test suite demonstrates empirically against LPS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.generators import random_regular_graph
+from repro.topology.base import Topology
+
+
+def build_jellyfish(
+    n_routers: int, radix: int, seed: int | np.random.Generator | None = 0
+) -> Topology:
+    """Random ``radix``-regular graph on ``n_routers`` vertices."""
+    graph = random_regular_graph(n_routers, radix, seed=seed)
+    return Topology(
+        name=f"Jellyfish({n_routers},{radix})",
+        family="Jellyfish",
+        graph=graph,
+        params={"n": n_routers, "radix": radix},
+        vertex_transitive=False,
+    )

@@ -1,0 +1,148 @@
+"""McKay--Miller--Siran (MMS) graphs and the SlimFly topology.
+
+SlimFly SF(q) [1] is the MMS graph on ``2 q^2`` vertices with radix
+``(3q - delta)/2`` where ``q = 4k + delta`` is a prime power and
+``delta in {-1, 0, 1}``.  Vertices live in two blocks indexed by
+``F_q x F_q``:
+
+* ``(0, x, y) ~ (0, x, y')``  iff  ``y - y' in X``
+* ``(1, m, c) ~ (1, m, c')``  iff  ``c - c' in X'``
+* ``(0, x, y) ~ (1, m, c)``   iff  ``y = m x + c``
+
+Generator sets (xi = a primitive element of GF(q)):
+
+* ``delta = +1``: X = nonzero squares (even powers of xi), X' = nonsquares.
+* ``delta = -1`` (q = 4k - 1): X = even powers xi^0..xi^{2k-2} union odd
+  powers xi^{2k-1}..xi^{4k-3}; X' = xi * X.  Both are symmetric because
+  ``-1 = xi^{2k-1}`` maps the even half onto the odd half, and
+  ``X union X' = F_q*`` as required for diameter 2.
+* ``delta = 0`` (q = 2^m): characteristic 2 makes every set symmetric; we
+  use consecutive power windows overlapping in one element so that
+  ``X union X' = F_q*`` (a documented stand-in for the literature's
+  construction — see DESIGN.md).
+
+Construction-time verification asserts vertex count, radix, and diameter 2,
+so any instance this module returns *is* an MMS-parameter graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra.gf import GF
+from repro.errors import ConstructionError, ParameterError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.metrics import diameter
+from repro.topology.base import Topology
+
+
+def mms_delta(q: int) -> int:
+    """The delta in q = 4k + delta; raises for q = 2 (mod 4)."""
+    r = q % 4
+    if r == 1:
+        return 1
+    if r == 3:
+        return -1
+    if r == 0:
+        return 0
+    raise ParameterError(f"q={q} = 2 (mod 4) is not a valid MMS parameter")
+
+
+def mms_radix(q: int) -> int:
+    """Router radix (3q - delta) / 2."""
+    return (3 * q - mms_delta(q)) // 2
+
+
+def _generator_sets(field: GF) -> tuple[np.ndarray, np.ndarray]:
+    """Return (X, X') as arrays of field codes for the three delta cases."""
+    q = field.q
+    delta = mms_delta(q)
+    xi = field.primitive
+    powers = np.empty(q - 1, dtype=np.int64)
+    acc = 1
+    for i in range(q - 1):
+        powers[i] = acc
+        acc = int(field.mul(acc, xi))
+    if delta == 1:
+        x_set = powers[0::2]  # even powers = nonzero squares
+        xp_set = powers[1::2]
+    elif delta == -1:
+        k = (q + 1) // 4
+        evens = powers[0 : 2 * k - 1 : 2]  # xi^0, xi^2, ..., xi^{2k-2}
+        odds = powers[2 * k - 1 : 4 * k - 3 + 1 : 2]  # xi^{2k-1}, ..., xi^{4k-3}
+        x_set = np.concatenate([evens, odds])
+        xp_set = np.array([field.mul(int(v), xi) for v in x_set], dtype=np.int64)
+    else:  # delta == 0, q = 2^m
+        half = q // 2
+        x_set = powers[:half]
+        xp_set = powers[half - 1 :]
+    return x_set.astype(np.int64), xp_set.astype(np.int64)
+
+
+def build_mms(q: int, validate: bool = True) -> Topology:
+    """Construct the MMS graph H_q on 2 q^2 vertices.
+
+    Vertex ids: block 0 vertex ``(x, y)`` is ``x*q + y``; block 1 vertex
+    ``(m, c)`` is ``q^2 + m*q + c``.
+    """
+    delta = mms_delta(q)
+    field = GF(q)
+    x_set, xp_set = _generator_sets(field)
+    if validate:
+        _check_symmetric(field, x_set, "X")
+        _check_symmetric(field, xp_set, "X'")
+        union = np.union1d(x_set, xp_set)
+        if len(union) != q - 1 or 0 in union:
+            raise ConstructionError(
+                f"MMS({q}): X union X' must be exactly F_q* "
+                f"(got {len(union)} elements)"
+            )
+
+    n = 2 * q * q
+    edges = []
+    all_xy = np.arange(q * q, dtype=np.int64)
+    xs, ys = all_xy // q, all_xy % q
+    # Block-0 intra-column edges: (x, y) ~ (x, y + d), d in X.
+    for d in x_set.tolist():
+        y2 = field.add(ys, d)
+        edges.append(np.stack([all_xy, xs * q + y2], axis=1))
+    # Block-1 intra-row edges.
+    for d in xp_set.tolist():
+        c2 = field.add(ys, d)
+        edges.append(np.stack([q * q + all_xy, q * q + xs * q + c2], axis=1))
+    # Cross edges: (0, x, y) ~ (1, m, c) iff y = m x + c, i.e. c = y - m x.
+    for m in range(q):
+        c = field.sub(ys, field.mul(m, xs))
+        edges.append(np.stack([all_xy, q * q + m * q + c], axis=1))
+    graph = CSRGraph.from_edges(n, np.concatenate(edges))
+    topo = Topology(
+        name=f"MMS({q})",
+        family="MMS",
+        graph=graph,
+        params={"q": q, "delta": delta},
+        vertex_transitive=True,
+    )
+    if validate:
+        want = mms_radix(q)
+        degs = graph.degrees()
+        if not np.all(degs == want):
+            raise ConstructionError(
+                f"MMS({q}): degree range [{degs.min()},{degs.max()}], want {want}"
+            )
+        if diameter(graph, sample=1 if q > 11 else None) > 2:
+            raise ConstructionError(f"MMS({q}): diameter exceeds 2")
+    return topo
+
+
+def _check_symmetric(field: GF, s: np.ndarray, label: str) -> None:
+    negs = np.sort(np.array([field.neg(int(v)) for v in s]))
+    if not np.array_equal(negs, np.sort(s)):
+        raise ConstructionError(f"MMS generator set {label} is not symmetric")
+
+
+def build_slimfly(q: int, validate: bool = True) -> Topology:
+    """SlimFly SF(q): the MMS graph presented as an interconnect topology."""
+    topo = build_mms(q, validate=validate)
+    topo.name = f"SF({q})"
+    topo.family = "SlimFly"
+    return topo

@@ -1,0 +1,42 @@
+"""Paley graphs — the intra-group structure of BundleFly.
+
+P(q) for a prime power ``q = 1 (mod 4)``: vertices are GF(q), with an edge
+``x ~ y`` iff ``x - y`` is a nonzero square.  The congruence condition makes
+-1 a square, so the relation is symmetric; the graph is
+``(q-1)/2``-regular, vertex-transitive, and self-complementary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra.gf import GF
+from repro.errors import ConstructionError, ParameterError
+from repro.graphs.csr import CSRGraph
+from repro.topology.base import Topology
+
+
+def build_paley(q: int, validate: bool = True) -> Topology:
+    """Construct the Paley graph P(q); requires prime power q = 1 (mod 4)."""
+    if q % 4 != 1:
+        raise ParameterError(f"Paley graph needs q = 1 (mod 4), got q={q}")
+    field = GF(q)
+    squares = field.nonzero_squares()
+    verts = np.arange(q, dtype=np.int64)
+    edges = [
+        np.stack([verts, field.add(verts, int(s)).astype(np.int64)], axis=1)
+        for s in squares
+    ]
+    graph = CSRGraph.from_edges(q, np.concatenate(edges))
+    topo = Topology(
+        name=f"Paley({q})",
+        family="Paley",
+        graph=graph,
+        params={"q": q},
+        vertex_transitive=True,
+    )
+    if validate:
+        want = (q - 1) // 2
+        if not np.all(graph.degrees() == want):
+            raise ConstructionError(f"Paley({q}) degree != {want}")
+    return topo

@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment output.
+
+The experiment modules print the same rows the paper's tables/figures report;
+this renderer keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    rows: Iterable[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` (dicts) as an aligned text table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.  Missing values render as ``-``.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_format_cell(r.get(c, "-")) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in cells))
+        for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Ember-style communication motifs and the dependency-driven runner."""
+
+from repro.workloads.motif import Message, Motif
+from repro.workloads.halo3d import Halo3D26Motif
+from repro.workloads.sweep3d import Sweep3DMotif
+from repro.workloads.fft import FFTMotif
+from repro.workloads.runner import run_motif
+
+__all__ = [
+    "Message",
+    "Motif",
+    "Halo3D26Motif",
+    "Sweep3DMotif",
+    "FFTMotif",
+    "run_motif",
+]

@@ -1,0 +1,117 @@
+"""FFT: sub-communicator all-to-all (multi-dimensional FFT transposes).
+
+A 3D domain is decomposed along X and Y over an ``nx x ny`` rank grid; 1D
+sub-communicators form along the X lines and along the Y lines.  Phase 1 is
+an all-to-all inside every X sub-communicator, phase 2 an all-to-all inside
+every Y sub-communicator, with phase 2's sends at each rank depending on
+all of that rank's phase-1 receives.
+
+``balanced`` uses a square grid (nx = ny); ``unbalanced`` a skewed one
+(nx = 4 ny by default), which enlarges the all-to-all groups and — in the
+paper's Fig. 9 — flips the winner from DragonFly to SpectralFly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+from repro.workloads.motif import Message, Motif
+
+
+def _grid_with_aspect(n_ranks: int, target_aspect: float) -> tuple[int, int]:
+    """Factor pair (nx, ny), nx * ny = n_ranks, with nx/ny closest to target."""
+    if n_ranks < 4:
+        raise ParameterError("FFT motif needs at least 4 ranks")
+    best: tuple[int, int] | None = None
+    best_err = float("inf")
+    for ny in range(1, int(math.isqrt(n_ranks)) + 1):
+        if n_ranks % ny:
+            continue
+        nx = n_ranks // ny
+        if ny < 2 and nx > 2:
+            # Degenerate 1-wide grids have an empty phase; avoid unless forced.
+            continue
+        err = abs(math.log(nx / ny) - math.log(target_aspect))
+        if err < best_err:
+            best_err = err
+            best = (nx, ny)
+    if best is None:
+        raise ParameterError(f"cannot factor {n_ranks} into a 2D grid")
+    return best
+
+
+class FFTMotif(Motif):
+    """Two-phase sub-communicator all-to-all over an ``nx x ny`` grid."""
+
+    name = "fft"
+
+    def __init__(
+        self,
+        grid: tuple[int, int],
+        total_bytes_per_rank: int = 1 << 16,
+        compute_ns: float = 0.0,
+    ) -> None:
+        nx, ny = grid
+        super().__init__(nx * ny)
+        self.grid = grid
+        self.total_bytes_per_rank = total_bytes_per_rank
+        self.compute_ns = compute_ns
+
+    @classmethod
+    def balanced(cls, n_ranks: int, **kw) -> "FFTMotif":
+        """Most-square factorisation ``nx x ny = n_ranks`` (nx >= ny).
+
+        The paper's balanced motif; for non-square counts (8192 ranks) this
+        is the aspect-ratio-minimising grid (e.g. 128 x 64).
+        """
+        return cls(_grid_with_aspect(n_ranks, 1.0), **kw)
+
+    @classmethod
+    def unbalanced(cls, n_ranks: int, skew: float = 16.0, **kw) -> "FFTMotif":
+        """Skewed grid with aspect ratio closest to ``skew``.
+
+        Enlarges the all-to-all sub-communicators along one axis — the
+        configuration where the paper's Fig. 9 flips the winner from
+        DragonFly to SpectralFly.
+        """
+        return cls(_grid_with_aspect(n_ranks, skew), **kw)
+
+    def _rank(self, x: int, y: int) -> int:
+        return x * self.grid[1] + y
+
+    def generate(self) -> list[Message]:
+        nx, ny = self.grid
+        messages: list[Message] = []
+        mid = 0
+        recv_phase1: dict[int, list[int]] = {r: [] for r in range(self.n_ranks)}
+        # Phase 1: all-to-all along X rows (fixed x, varying y).
+        size1 = max(1, self.total_bytes_per_rank // max(1, ny - 1))
+        for x in range(nx):
+            for y in range(ny):
+                src = self._rank(x, y)
+                for y2 in range(ny):
+                    if y2 == y:
+                        continue
+                    dst = self._rank(x, y2)
+                    m = Message(mid, src, dst, size1, deps=[],
+                                compute_ns=self.compute_ns)
+                    messages.append(m)
+                    recv_phase1[dst].append(mid)
+                    mid += 1
+        # Phase 2: all-to-all along Y columns (fixed y, varying x).
+        size2 = max(1, self.total_bytes_per_rank // max(1, nx - 1))
+        for x in range(nx):
+            for y in range(ny):
+                src = self._rank(x, y)
+                deps = recv_phase1[src]
+                for x2 in range(nx):
+                    if x2 == x:
+                        continue
+                    dst = self._rank(x2, y)
+                    messages.append(
+                        Message(mid, src, dst, size2, deps=list(deps),
+                                compute_ns=self.compute_ns)
+                    )
+                    mid += 1
+        return messages

@@ -1,0 +1,107 @@
+"""Halo3D-26: nearest-neighbour halo exchange on a 3D periodic grid.
+
+Every rank exchanges with its 26 neighbours (6 faces, 12 edges, 8 corners)
+each iteration; face messages carry a 2D slab, edge messages a 1D pencil,
+corner messages a single cell.  Iteration ``t`` sends depend on all of the
+rank's iteration ``t-1`` receives (the bulk-synchronous stencil step).
+This is the paper's "relatively low per-node communication" motif where
+SpectralFly's low average hop count wins (Fig. 9/10, ~1.2x over DragonFly).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.workloads.motif import Message, Motif
+
+
+class Halo3D26Motif(Motif):
+    """Halo3D-26 on a ``gx x gy x gz`` periodic rank grid."""
+
+    name = "halo3d26"
+
+    def __init__(
+        self,
+        grid: tuple[int, int, int],
+        iterations: int = 2,
+        cell_bytes: int = 8,
+        block: int = 16,
+        compute_ns: float = 0.0,
+    ) -> None:
+        gx, gy, gz = grid
+        super().__init__(gx * gy * gz)
+        self.grid = grid
+        self.iterations = iterations
+        self.cell_bytes = cell_bytes
+        self.block = block  # local domain edge length per rank
+        self.compute_ns = compute_ns
+
+    def _rank(self, x: int, y: int, z: int) -> int:
+        gx, gy, gz = self.grid
+        return (x % gx) * gy * gz + (y % gy) * gz + (z % gz)
+
+    def _msg_size(self, offset: tuple[int, int, int]) -> int:
+        nz = sum(1 for o in offset if o != 0)
+        b, c = self.block, self.cell_bytes
+        if nz == 1:  # face: block^2 cells
+            return b * b * c
+        if nz == 2:  # edge: block cells
+            return b * c
+        return c  # corner: one cell
+
+    def generate(self) -> list[Message]:
+        gx, gy, gz = self.grid
+        offsets = [
+            o for o in itertools.product((-1, 0, 1), repeat=3) if o != (0, 0, 0)
+        ]
+        messages: list[Message] = []
+        mid = 0
+        # received[r] = ids of messages rank r received in the previous iter.
+        received_prev: dict[int, list[int]] = {r: [] for r in range(self.n_ranks)}
+        for _it in range(self.iterations):
+            received_now: dict[int, list[int]] = {
+                r: [] for r in range(self.n_ranks)
+            }
+            for x in range(gx):
+                for y in range(gy):
+                    for z in range(gz):
+                        src = self._rank(x, y, z)
+                        deps = received_prev[src]
+                        for off in offsets:
+                            dst = self._rank(x + off[0], y + off[1], z + off[2])
+                            if dst == src:
+                                continue  # degenerate tiny grids
+                            m = Message(
+                                mid,
+                                src,
+                                dst,
+                                self._msg_size(off),
+                                deps=list(deps),
+                                compute_ns=self.compute_ns,
+                            )
+                            messages.append(m)
+                            received_now[dst].append(mid)
+                            mid += 1
+            received_prev = received_now
+        return messages
+
+
+def default_halo_grid(n_ranks: int) -> tuple[int, int, int]:
+    """Most-cubic 3D factorisation of ``n_ranks``."""
+    best = (n_ranks, 1, 1)
+    best_score = float("inf")
+    for a in range(1, int(round(n_ranks ** (1 / 3))) + 2):
+        if n_ranks % a:
+            continue
+        rest = n_ranks // a
+        for b in range(a, int(np.sqrt(rest)) + 2):
+            if rest % b:
+                continue
+            c = rest // b
+            score = max(a, b, c) / min(a, b, c)
+            if score < best_score:
+                best_score = score
+                best = (a, b, c)
+    return best

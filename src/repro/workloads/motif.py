@@ -1,0 +1,45 @@
+"""Motif = a DAG of messages.
+
+A motif generates the full set of messages an application skeleton would
+send, each with explicit dependencies: message ``m`` may enter the network
+only after every message in ``m.deps`` has been *delivered*.  This is the
+same skeletonisation idea SST/macro's Ember library uses — computation is
+abstracted away (optionally a fixed compute delay), communication structure
+is preserved exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Message:
+    """One point-to-point message in a motif DAG."""
+
+    mid: int
+    src_rank: int
+    dst_rank: int
+    size: int
+    deps: list[int] = field(default_factory=list)
+    compute_ns: float = 0.0  # delay between deps-satisfied and injection
+
+
+class Motif:
+    """Base class: subclasses fill ``self.messages`` in ``generate``."""
+
+    name = "abstract"
+
+    def __init__(self, n_ranks: int) -> None:
+        self.n_ranks = n_ranks
+
+    def generate(self) -> list[Message]:
+        raise NotImplementedError
+
+    # -- helpers for subclasses --------------------------------------------
+    @staticmethod
+    def _check_grid(n_ranks: int, dims: tuple[int, ...]) -> None:
+        import numpy as np
+
+        if int(np.prod(dims)) != n_ranks:
+            raise ValueError(f"grid {dims} does not tile {n_ranks} ranks")

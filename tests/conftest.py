@@ -1,0 +1,52 @@
+"""Shared fixtures: small topology instances, cached per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    build_bundlefly,
+    build_canonical_dragonfly,
+    build_lps,
+    build_slimfly,
+)
+
+
+@pytest.fixture(scope="session")
+def lps_3_5():
+    return build_lps(3, 5)
+
+
+@pytest.fixture(scope="session")
+def lps_11_7():
+    return build_lps(11, 7)
+
+
+@pytest.fixture(scope="session")
+def lps_23_11():
+    return build_lps(23, 11)
+
+
+@pytest.fixture(scope="session")
+def sf_7():
+    return build_slimfly(7)
+
+
+@pytest.fixture(scope="session")
+def sf_9():
+    return build_slimfly(9)
+
+
+@pytest.fixture(scope="session")
+def sf_17():
+    return build_slimfly(17)
+
+
+@pytest.fixture(scope="session")
+def bf_13_3():
+    return build_bundlefly(13, 3)
+
+
+@pytest.fixture(scope="session")
+def df_12():
+    return build_canonical_dragonfly(12)

@@ -1,0 +1,136 @@
+"""Tests for repro.algebra.gf — prime and extension field arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.gf import GF
+from repro.errors import ParameterError
+
+FIELDS = [2, 3, 4, 5, 7, 8, 9, 13, 16, 25, 27]
+
+
+@pytest.fixture(scope="module", params=FIELDS)
+def field(request):
+    return GF(request.param)
+
+
+class TestFieldAxioms:
+    def test_additive_identity(self, field):
+        a = field.elements()
+        assert np.all(field.add(a, 0) == a)
+
+    def test_multiplicative_identity(self, field):
+        a = field.elements()
+        assert np.all(field.mul(a, 1) == a)
+
+    def test_additive_inverse(self, field):
+        a = field.elements()
+        assert np.all(field.add(a, field.neg(a)) == 0)
+
+    def test_multiplicative_inverse(self, field):
+        a = np.arange(1, field.q)
+        assert np.all(field.mul(a, field.inv(a)) == 1)
+
+    def test_commutativity(self, field):
+        q = field.q
+        a, b = np.meshgrid(np.arange(q), np.arange(q))
+        assert np.all(field.add(a, b) == field.add(b, a))
+        assert np.all(field.mul(a, b) == field.mul(b, a))
+
+    def test_distributivity(self, field):
+        q = field.q
+        rng = np.random.default_rng(0)
+        a, b, c = rng.integers(0, q, size=(3, 200))
+        lhs = field.mul(a, field.add(b, c))
+        rhs = field.add(field.mul(a, b), field.mul(a, c))
+        assert np.all(lhs == rhs)
+
+    def test_associativity_mul(self, field):
+        q = field.q
+        rng = np.random.default_rng(1)
+        a, b, c = rng.integers(0, q, size=(3, 200))
+        assert np.all(
+            field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+        )
+
+    def test_no_zero_divisors(self, field):
+        q = field.q
+        a, b = np.meshgrid(np.arange(1, q), np.arange(1, q))
+        assert np.all(field.mul(a, b) != 0)
+
+
+class TestPrimitiveElement:
+    def test_generates_multiplicative_group(self, field):
+        xi = field.primitive
+        seen = set()
+        acc = 1
+        for _ in range(field.q - 1):
+            seen.add(acc)
+            acc = int(field.mul(acc, xi))
+        assert len(seen) == field.q - 1
+        assert acc == 1  # order divides q-1 and the orbit has full size
+
+
+class TestSquares:
+    def test_square_count_odd_char(self):
+        f = GF(13)
+        assert len(f.nonzero_squares()) == 6  # (q-1)/2
+
+    def test_square_count_gf9(self):
+        f = GF(9)
+        assert len(f.nonzero_squares()) == 4
+
+    def test_char2_everything_square(self):
+        f = GF(8)
+        assert len(f.nonzero_squares()) == 7
+        assert all(f.is_square(a) for a in range(8))
+
+    def test_is_square_matches_set(self):
+        f = GF(25)
+        squares = set(f.nonzero_squares().tolist())
+        for a in range(1, 25):
+            assert f.is_square(a) == (a in squares)
+
+
+class TestPow:
+    def test_pow_matches_repeated_mul(self):
+        f = GF(27)
+        for a in (1, 2, 5, 26):
+            acc = 1
+            for e in range(10):
+                assert f.pow(a, e) == acc
+                acc = int(f.mul(acc, a))
+
+    def test_zero_cases(self):
+        f = GF(7)
+        assert f.pow(0, 5) == 0
+        assert f.pow(0, 0) == 1
+        assert f.pow(3, 0) == 1
+
+
+class TestConstruction:
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ParameterError):
+            GF(6)
+        with pytest.raises(ParameterError):
+            GF(12)
+
+    def test_characteristic(self):
+        assert GF(9).p == 3 and GF(9).m == 2
+        assert GF(16).p == 2 and GF(16).m == 4
+        assert GF(13).p == 13 and GF(13).m == 1
+
+    def test_prime_field_is_mod_arithmetic(self):
+        f = GF(11)
+        a, b = np.meshgrid(np.arange(11), np.arange(11))
+        assert np.all(f.add(a, b) == (a + b) % 11)
+        assert np.all(f.mul(a, b) == (a * b) % 11)
+
+    def test_frobenius_additive_char_p(self):
+        # (a + b)^p = a^p + b^p in characteristic p.
+        f = GF(9)
+        for a in range(9):
+            for b in range(9):
+                lhs = f.pow(int(f.add(a, b)), 3)
+                rhs = int(f.add(f.pow(a, 3), f.pow(b, 3)))
+                assert lhs == rhs

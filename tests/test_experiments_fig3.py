@@ -1,0 +1,38 @@
+"""Tests for the Fig. 3 neighbourhood-structure experiment."""
+
+import pytest
+
+from repro.experiments import fig3
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run(instances=((3, 7), (3, 17)))
+
+    def test_rows(self, result):
+        assert [r["topology"] for r in result.rows] == ["LPS(3,7)", "LPS(3,17)"]
+
+    def test_lps_3_17_tree_depth(self, result):
+        # Fig 3: the shortest cycle of LPS(3,17) uses vertices at distance 6
+        # -> BFS layers are exactly tree-like to depth >= 5.
+        row = next(r for r in result.rows if r["topology"] == "LPS(3,17)")
+        assert row["girth"] >= 11  # cycle through distance-6 vertices
+        assert row["tree_like_depth"] >= 5
+
+    def test_layer_sizes_sum_to_n(self, result):
+        # Both are PGL cases ((3/7) = (3/17) = -1): q^3 - q vertices.
+        for row in result.rows:
+            total = sum(int(s) for s in row["layer_sizes"].split("/"))
+            n = 336 if row["topology"] == "LPS(3,7)" else 4896
+            assert total == n
+
+    def test_few_vertices_at_eccentricity(self, result):
+        # Fig 3 / Sardari [31]: far fewer vertices sit at the last distance
+        # than one layer earlier, and for larger q the tail is tiny.
+        for row in result.rows:
+            sizes = [int(s) for s in row["layer_sizes"].split("/")]
+            assert sizes[-1] < sizes[-2]
+        large = next(r for r in result.rows if r["topology"] == "LPS(3,17)")
+        sizes = [int(s) for s in large["layer_sizes"].split("/")]
+        assert sizes[-1] < 0.01 * sum(sizes)

@@ -1,0 +1,31 @@
+"""Tests for the spectral survey experiment."""
+
+import pytest
+
+from repro.experiments import survey
+
+
+class TestSurveyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return survey.run(seed=0, with_xpander=True)
+
+    def test_has_all_rows(self, result):
+        names = [r["topology"] for r in result.rows]
+        assert any("LPS" in n for n in names)
+        assert any("Xpander" in n for n in names)
+        assert any("hypercube" in n for n in names)
+
+    def test_ordering_story(self, result):
+        by = {r["topology"]: r for r in result.rows}
+        lps = next(v for k, v in by.items() if "LPS" in k)
+        cube = next(v for k, v in by.items() if "hypercube" in k)
+        assert lps["lambda_over_bound"] <= 1.0 + 1e-9
+        assert cube["lambda_over_bound"] > lps["lambda_over_bound"]
+
+    def test_renders(self, result):
+        assert "Ramanujan" in result.to_text()
+
+    def test_without_xpander(self):
+        res = survey.run(seed=0, with_xpander=False)
+        assert not any("Xpander" in r["topology"] for r in res.rows)

@@ -1,0 +1,90 @@
+"""Tests for the BFS kernels, including agreement between implementations."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.bfs import (
+    UNREACHED,
+    bfs_distances,
+    distance_matrix,
+    distance_profile,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    cycle_graph,
+    hypercube_graph,
+    random_regular_graph,
+    torus_graph,
+)
+
+
+class TestSingleSource:
+    def test_path_graph(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3]
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        d = bfs_distances(g, 0)
+        assert d.tolist() == [0, 1, 2, 3, 4, 3, 2, 1]
+
+    def test_disconnected(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [2, 3]]))
+        d = bfs_distances(g, 0)
+        assert d[2] == UNREACHED and d[3] == UNREACHED
+
+    def test_hypercube_is_hamming(self):
+        g = hypercube_graph(6)
+        d = bfs_distances(g, 0)
+        expect = np.array([bin(v).count("1") for v in range(64)])
+        assert np.array_equal(d, expect)
+
+
+class TestDistanceMatrix:
+    @pytest.mark.parametrize("batch", [1, 3, 64, 512])
+    def test_agrees_with_single_source(self, batch):
+        g = random_regular_graph(60, 4, seed=7)
+        dm = distance_matrix(g, batch=batch)
+        for s in (0, 17, 59):
+            assert np.array_equal(dm[s], bfs_distances(g, s).astype(dm.dtype))
+
+    def test_symmetric(self):
+        g = random_regular_graph(50, 3, seed=3)
+        dm = distance_matrix(g)
+        assert np.array_equal(dm, dm.T)
+
+    def test_subset_of_sources(self):
+        g = cycle_graph(10)
+        dm = distance_matrix(g, sources=np.array([2, 5]))
+        assert dm.shape == (2, 10)
+        assert dm[0, 2] == 0 and dm[1, 5] == 0
+
+    def test_disconnected_marked(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [2, 3]]))
+        dm = distance_matrix(g)
+        assert dm[0, 2] == -1
+
+
+class TestDistanceProfile:
+    def test_cycle_profile(self):
+        hist, diam, mean = distance_profile(cycle_graph(6))
+        # C6: each vertex has 2 at dist 1, 2 at dist 2, 1 at dist 3.
+        assert diam == 3
+        assert hist[1] == 12 and hist[2] == 12 and hist[3] == 6
+        assert mean == pytest.approx((12 + 24 + 18) / 30)
+
+    def test_torus_diameter(self):
+        g = torus_graph((4, 4))
+        _, diam, _ = distance_profile(g)
+        assert diam == 4  # 2 + 2
+
+    def test_raises_on_disconnected(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [2, 3]]))
+        with pytest.raises(ValueError):
+            distance_profile(g)
+
+    def test_small_batch_streams_correctly(self):
+        g = hypercube_graph(5)
+        h1, d1, m1 = distance_profile(g, batch=7)
+        h2, d2, m2 = distance_profile(g, batch=512)
+        assert np.array_equal(h1, h2) and d1 == d2 and m1 == pytest.approx(m2)

@@ -1,0 +1,69 @@
+"""Tests for random edge-failure machinery."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.failures import delete_random_edges, resilience_trials
+from repro.graphs.generators import complete_graph, hypercube_graph
+from repro.graphs.metrics import average_distance, diameter, is_connected
+
+
+class TestDeleteRandomEdges:
+    def test_exact_count(self):
+        g = complete_graph(10)  # 45 edges
+        h = delete_random_edges(g, 0.2, seed=0)
+        assert h.num_edges == 45 - 9
+
+    def test_zero_proportion_identity(self):
+        g = complete_graph(6)
+        assert delete_random_edges(g, 0.0, seed=0) is g
+
+    def test_subset_of_original(self):
+        g = hypercube_graph(4)
+        h = delete_random_edges(g, 0.3, seed=1)
+        orig = {tuple(e) for e in g.edge_array()}
+        assert all(tuple(e) in orig for e in h.edge_array())
+
+    def test_seeded_reproducible(self):
+        g = complete_graph(12)
+        a = delete_random_edges(g, 0.4, seed=5)
+        b = delete_random_edges(g, 0.4, seed=5)
+        assert np.array_equal(a.edge_array(), b.edge_array())
+
+    def test_invalid_proportion(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError):
+            delete_random_edges(g, 1.0)
+        with pytest.raises(ValueError):
+            delete_random_edges(g, -0.1)
+
+
+class TestResilienceTrials:
+    def test_mean_and_count(self):
+        g = complete_graph(16)
+        mean, total = resilience_trials(
+            g, 0.1, lambda h: float(diameter(h)), seed=0,
+            max_trials_per_batch=2,
+        )
+        assert mean >= 1.0
+        assert total >= 10  # at least `batches` trials ran
+
+    def test_metric_monotone_under_failures(self):
+        # Average distance should not decrease when edges fail.
+        g = hypercube_graph(4)
+        base = average_distance(g)
+        mean, _ = resilience_trials(
+            g, 0.25, average_distance, seed=3, max_trials_per_batch=2
+        )
+        assert mean >= base - 1e-9
+
+    def test_connectivity_enforced(self):
+        g = complete_graph(8)
+        mean, _ = resilience_trials(
+            g,
+            0.5,
+            lambda h: 1.0 if is_connected(h) else 0.0,
+            seed=4,
+            max_trials_per_batch=2,
+        )
+        assert mean == 1.0

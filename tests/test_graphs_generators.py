@@ -1,0 +1,74 @@
+"""Tests for reference generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.graphs.metrics import is_connected
+
+
+class TestDeterministicGenerators:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15 and g.degree() == 5
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7 and g.degree() == 2
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ParameterError):
+            cycle_graph(2)
+
+    def test_hypercube(self):
+        g = hypercube_graph(5)
+        assert g.n == 32 and g.degree() == 5
+
+    def test_torus_3d(self):
+        g = torus_graph((3, 4, 5))
+        assert g.n == 60 and g.degree() == 6
+
+    def test_torus_dim2_collapses_parallel(self):
+        # A dimension of size 2 yields a single edge (not a double edge).
+        g = torus_graph((2, 5))
+        assert g.degrees().max() == 3
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,k", [(20, 3), (50, 4), (101, 6), (64, 7)])
+    def test_regular(self, n, k):
+        if n * k % 2:
+            n += 1
+        g = random_regular_graph(n, k, seed=5)
+        assert g.n == n
+        assert np.all(g.degrees() == k)
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ParameterError):
+            random_regular_graph(5, 3)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ParameterError):
+            random_regular_graph(4, 4)
+
+    def test_deterministic_per_seed(self):
+        a = random_regular_graph(40, 4, seed=9)
+        b = random_regular_graph(40, 4, seed=9)
+        assert np.array_equal(a.edge_array(), b.edge_array())
+
+    def test_different_seeds_differ(self):
+        a = random_regular_graph(40, 4, seed=1)
+        b = random_regular_graph(40, 4, seed=2)
+        assert not np.array_equal(a.edge_array(), b.edge_array())
+
+    def test_usually_connected(self):
+        # k >= 3 random regular graphs are a.a.s. connected.
+        g = random_regular_graph(100, 4, seed=11)
+        assert is_connected(g)

@@ -1,0 +1,113 @@
+"""Tests for structural metrics (diameter, average distance, girth, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    torus_graph,
+)
+from repro.graphs.metrics import (
+    average_distance,
+    diameter,
+    edge_connectivity_lower_bound,
+    girth,
+    is_bipartite,
+    is_connected,
+)
+
+
+class TestDiameter:
+    def test_complete(self):
+        assert diameter(complete_graph(7)) == 1
+
+    def test_cycle(self):
+        assert diameter(cycle_graph(9)) == 4
+        assert diameter(cycle_graph(10)) == 5
+
+    def test_hypercube(self):
+        assert diameter(hypercube_graph(5)) == 5
+
+    def test_torus(self):
+        assert diameter(torus_graph((5, 5))) == 4
+
+    def test_disconnected_raises(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [2, 3]]))
+        with pytest.raises(ValueError):
+            diameter(g)
+
+    def test_sampled_lower_bounds_exact(self):
+        g = torus_graph((6, 6))
+        assert diameter(g, sample=10) <= diameter(g)
+
+
+class TestAverageDistance:
+    def test_complete(self):
+        assert average_distance(complete_graph(10)) == pytest.approx(1.0)
+
+    def test_cycle5(self):
+        # C5: distances 1,1,2,2 from each vertex -> mean 1.5.
+        assert average_distance(cycle_graph(5)) == pytest.approx(1.5)
+
+    def test_hypercube(self):
+        # Mean Hamming distance between distinct points of {0,1}^d:
+        # d * 2^(d-1) / (2^d - 1) * ... = d/2 * 2^d/(2^d -1).
+        d = 4
+        n = 2**d
+        expect = d / 2 * n / (n - 1)
+        assert average_distance(hypercube_graph(d)) == pytest.approx(expect)
+
+
+class TestGirth:
+    def test_tree_has_none(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [1, 2], [1, 3]]))
+        assert girth(g) == 0
+
+    def test_cycles(self):
+        for n in (3, 4, 5, 6, 7, 11):
+            assert girth(cycle_graph(n)) == n
+
+    def test_complete(self):
+        assert girth(complete_graph(5)) == 3
+
+    def test_hypercube(self):
+        assert girth(hypercube_graph(4)) == 4
+
+    def test_petersen(self):
+        import networkx as nx
+
+        g = CSRGraph.from_networkx(nx.petersen_graph())
+        assert girth(g) == 5
+
+    def test_vertex_transitive_shortcut(self):
+        g = torus_graph((5, 5))
+        assert girth(g, assume_vertex_transitive=True) == girth(g)
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert is_connected(cycle_graph(5))
+
+    def test_disconnected(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [2, 3]]))
+        assert not is_connected(g)
+
+    def test_edge_connectivity_bound(self):
+        assert edge_connectivity_lower_bound(cycle_graph(6)) == 2
+
+
+class TestBipartite:
+    def test_even_cycle(self):
+        assert is_bipartite(cycle_graph(8))
+
+    def test_odd_cycle(self):
+        assert not is_bipartite(cycle_graph(7))
+
+    def test_hypercube(self):
+        assert is_bipartite(hypercube_graph(3))
+
+    def test_complete(self):
+        assert not is_bipartite(complete_graph(4))

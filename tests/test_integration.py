@@ -1,0 +1,133 @@
+"""End-to-end integration tests: build → analyze → route → simulate → lay out.
+
+One pipeline per topology family, exercising the full public API surface
+the way examples/quickstart.py does, with cross-layer consistency checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    NetworkSimulator,
+    RoutingTables,
+    SimConfig,
+    Sweep3DMotif,
+    average_distance,
+    bisection_bandwidth,
+    build_bundlefly,
+    build_canonical_dragonfly,
+    build_lps,
+    build_slimfly,
+    diameter,
+    layout_topology,
+    make_routing,
+    make_traffic,
+    place_ranks,
+    power_report,
+    run_motif,
+)
+from repro.sim.traffic import OpenLoopSource
+from repro.spectral import lambda_g, mu1
+
+
+FAMILIES = {
+    "LPS": lambda: build_lps(11, 7),
+    "SlimFly": lambda: build_slimfly(9),
+    "BundleFly": lambda: build_bundlefly(13, 3),
+    "DragonFly": lambda: build_canonical_dragonfly(12),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(FAMILIES))
+def pipeline(request):
+    topo = FAMILIES[request.param]()
+    tables = RoutingTables(topo.graph)
+    return topo, tables
+
+
+class TestFullPipeline:
+    def test_structure_and_spectrum_consistent(self, pipeline):
+        topo, tables = pipeline
+        d = diameter(topo.graph, sample=1 if topo.vertex_transitive else None)
+        assert tables.diameter == d
+        assert average_distance(topo.graph) <= d
+        assert 0 < mu1(topo.graph) < 1.5
+        assert lambda_g(topo.graph) < topo.radix
+
+    def test_open_loop_simulation(self, pipeline):
+        topo, tables = pipeline
+        net = NetworkSimulator(
+            topo, make_routing("ugal", tables, seed=0),
+            SimConfig(concentration=2), tables=tables,
+        )
+        n_ranks = 128
+        r2e = place_ranks(n_ranks, net.n_endpoints, seed=0)
+        pat = make_traffic("transpose", n_ranks)
+        for r in range(n_ranks):
+            net.add_open_loop_source(
+                OpenLoopSource(r, int(r2e[r]), pat, r2e, 0.4, 5, seed=r)
+            )
+        s = net.run().summary()
+        assert s["delivered"] > 0
+        assert s["mean_hops"] <= 2 * tables.diameter + 1
+        assert s["max_latency_ns"] >= s["mean_latency_ns"]
+
+    def test_motif_execution(self, pipeline):
+        topo, tables = pipeline
+        out = run_motif(
+            topo,
+            make_routing("minimal", tables, seed=0),
+            Sweep3DMotif((8, 8), sweeps=1),
+            SimConfig(concentration=2),
+        )
+        assert out["delivered"] >= 0
+        assert out["makespan_ns"] > 0
+
+    def test_layout_and_power(self, pipeline):
+        topo, _ = pipeline
+        layout = layout_topology(topo, seed=0, em_iters=3, refine_sweeps=2)
+        cut = bisection_bandwidth(topo.graph, repeats=1, seed=0)
+        rep = power_report(layout, cut)
+        assert rep["electrical_links"] + rep["optical_links"] == topo.n_links
+        assert rep["total_power_w"] > 0
+        assert layout.wire_lengths.min() >= 2.0
+
+    def test_finite_buffer_run_completes(self, pipeline):
+        topo, tables = pipeline
+        cfg = SimConfig(concentration=2, finite_buffers=True)
+        net = NetworkSimulator(
+            topo, make_routing("minimal", tables, seed=1), cfg, tables=tables
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            s, d = rng.integers(0, net.n_endpoints, 2)
+            if s != d:
+                net.send(int(s), int(d))
+        stats = net.run()
+        assert not stats.deadlocked
+        assert stats.summary()["delivered"] == stats.n_injected
+
+
+class TestSimControls:
+    def test_run_until_cuts_short(self):
+        topo = FAMILIES["LPS"]()
+        tables = RoutingTables(topo.graph)
+        net = NetworkSimulator(topo, make_routing("minimal", tables),
+                               SimConfig(concentration=2), tables=tables)
+        for src in range(0, 100, 2):
+            net.send(src, (src + 37) % net.n_endpoints)
+        stats = net.run(until=500.0)  # far too short for everything
+        assert len(stats.latencies_ns) < stats.n_injected
+        assert not stats.deadlocked  # early stop is not a deadlock verdict
+
+    def test_max_events_guard(self):
+        from repro.errors import SimulationError
+
+        topo = FAMILIES["LPS"]()
+        tables = RoutingTables(topo.graph)
+        net = NetworkSimulator(topo, make_routing("minimal", tables),
+                               SimConfig(concentration=2), tables=tables)
+        for src in range(0, 100, 2):
+            net.send(src, (src + 37) % net.n_endpoints)
+        with pytest.raises(SimulationError):
+            net.run(max_events=10)

@@ -1,0 +1,164 @@
+"""Tests for the machine room, matching, QAP layout, power and latency."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import cycle_graph, hypercube_graph
+from repro.layout import (
+    MachineRoom,
+    cabinet_pairing,
+    latency_statistics,
+    latency_sweep,
+    layout_topology,
+    native_layout,
+    power_report,
+)
+from repro.layout.power import PowerModel
+from repro.layout.qap import _cabinet_graph, _layout_cost
+from repro.topology import build_lps
+from repro.topology.base import Topology
+
+
+@pytest.fixture(scope="module")
+def lps_small():
+    return build_lps(3, 5)  # 120 routers
+
+
+class TestMachineRoom:
+    def test_cabinet_count(self):
+        room = MachineRoom(120)
+        assert room.n_cabinets == 60
+        assert room.x * room.y >= 60
+
+    def test_wire_lengths(self):
+        room = MachineRoom(8)
+        assert room.wire_length(0, 0) == 2.0
+        # Adjacent in y: 4 + 0.6; adjacent in x: 4 + 2.
+        pos = room.cabinet_grid_positions()
+        d = room.cabinet_distance_matrix()
+        i, j = 0, 1
+        dy = abs(pos[i, 1] - pos[j, 1])
+        dx = abs(pos[i, 0] - pos[j, 0])
+        assert d[i, j] == pytest.approx(4 + 2 * dx + 0.6 * dy)
+
+    def test_distance_matrix_symmetric(self):
+        room = MachineRoom(50)
+        d = room.cabinet_distance_matrix()
+        assert np.array_equal(d, d.T)
+
+    def test_router_positions_shape(self):
+        room = MachineRoom(30)
+        pos = room.router_positions()
+        assert pos.shape == (30, 2)
+        # cabinet mates share a position
+        assert np.array_equal(pos[0], pos[1])
+
+
+class TestCabinetPairing:
+    def test_pairs_cover_all(self, lps_small):
+        cab = cabinet_pairing(lps_small.graph, seed=0)
+        assert cab.min() >= 0
+        counts = np.bincount(cab)
+        assert counts.max() <= 2
+
+    def test_matched_pairs_are_edges_mostly(self, lps_small):
+        g = lps_small.graph
+        cab = cabinet_pairing(g, seed=0)
+        pairs = {}
+        for r, c in enumerate(cab):
+            pairs.setdefault(int(c), []).append(r)
+        edge_pairs = sum(
+            1 for vs in pairs.values() if len(vs) == 2 and g.has_edge(*vs)
+        )
+        # exact matching on a connected regular graph: near-perfect.
+        assert edge_pairs >= g.n // 2 - 2
+
+    def test_odd_vertex_count(self):
+        g = cycle_graph(7)
+        cab = cabinet_pairing(g, seed=1)
+        assert len(np.unique(cab)) == 4  # 3 pairs + 1 single
+
+
+class TestQAPLayout:
+    def test_layout_improves_over_random(self, lps_small):
+        layout = layout_topology(lps_small, seed=0)
+        room = layout.room
+        w = _cabinet_graph(lps_small.graph, layout.cabinet_of)
+        nc = w.shape[0]
+        d = room.cabinet_distance_matrix()[:nc, :nc]
+        rng = np.random.default_rng(0)
+        random_costs = [
+            _layout_cost(w, d, rng.permutation(nc)) for _ in range(5)
+        ]
+        assert _layout_cost(w, d, layout.slot_of) < min(random_costs)
+
+    def test_wire_lengths_aligned_with_edges(self, lps_small):
+        layout = layout_topology(lps_small, seed=0)
+        assert len(layout.wire_lengths) == lps_small.graph.num_edges
+        assert layout.min_wire() if hasattr(layout, "min_wire") else True
+        assert layout.wire_lengths.min() >= 2.0
+
+    def test_intra_cabinet_links_are_2m(self, lps_small):
+        layout = layout_topology(lps_small, seed=0)
+        edges = lps_small.graph.edge_array()
+        same = layout.cabinet_of[edges[:, 0]] == layout.cabinet_of[edges[:, 1]]
+        assert np.all(layout.wire_lengths[same] == 2.0)
+
+    def test_slot_assignment_is_permutation(self, lps_small):
+        layout = layout_topology(lps_small, seed=0)
+        nc = int(layout.cabinet_of.max()) + 1
+        assert sorted(layout.slot_of.tolist()) == list(range(nc))
+
+    def test_native_layout_identity(self, lps_small):
+        layout = native_layout(lps_small)
+        assert np.array_equal(
+            layout.cabinet_of, np.arange(120) // 2
+        )
+
+    def test_native_at_least_as_long_as_optimised(self, lps_small):
+        nat = native_layout(lps_small)
+        opt = layout_topology(lps_small, seed=0)
+        assert opt.total_wire_m <= nat.total_wire_m
+
+
+class TestPower:
+    def test_report_fields(self, lps_small):
+        layout = layout_topology(lps_small, seed=0)
+        rep = power_report(layout, bisection_links=100)
+        assert rep["electrical_links"] + rep["optical_links"] == lps_small.n_links
+        assert rep["total_power_w"] > 0
+        assert rep["mw_per_gbps"] > 0
+
+    def test_optical_premium(self):
+        m = PowerModel()
+        assert m.optical_port_w == pytest.approx(3.76 * 1.25)
+
+    def test_threshold_moves_links(self, lps_small):
+        layout = layout_topology(lps_small, seed=0)
+        strict = power_report(layout, 100, PowerModel(electrical_reach_m=2.5))
+        loose = power_report(layout, 100, PowerModel(electrical_reach_m=50.0))
+        assert strict["electrical_links"] < loose["electrical_links"]
+        assert strict["total_power_w"] > loose["total_power_w"]
+
+
+class TestLatency:
+    def test_zero_switch_latency_cable_only(self, lps_small):
+        layout = layout_topology(lps_small, seed=0)
+        avg, mx = latency_statistics(layout, 0.0)
+        assert 0 < avg <= mx
+
+    def test_monotone_in_switch_latency(self, lps_small):
+        layout = layout_topology(lps_small, seed=0)
+        rows = latency_sweep(layout, [0.0, 100.0, 200.0])
+        avgs = [r["avg_latency_ns"] for r in rows]
+        assert avgs[0] < avgs[1] < avgs[2]
+
+    def test_latency_at_least_hop_floor(self, lps_small):
+        # With huge switch latency, latency ~ hops * switch.
+        from repro.graphs.metrics import average_distance
+
+        layout = layout_topology(lps_small, seed=0)
+        s = 100_000.0
+        avg, _ = latency_statistics(layout, s)
+        hops = average_distance(lps_small.graph)
+        assert avg == pytest.approx(hops * s, rel=0.05)

@@ -1,0 +1,107 @@
+"""Tests for repro.nt.modular."""
+
+import pytest
+
+from repro.nt.modular import (
+    crt_pair,
+    legendre_symbol,
+    mod_inverse,
+    solve_sum_of_two_squares_plus_one,
+    sqrt_mod,
+)
+from repro.nt.primes import primes_below
+
+
+class TestModInverse:
+    def test_basic(self):
+        assert mod_inverse(3, 7) == 5  # 3*5 = 15 = 1 (mod 7)
+        assert mod_inverse(2, 11) == 6
+
+    def test_all_invertible_mod_prime(self):
+        p = 23
+        for a in range(1, p):
+            assert a * mod_inverse(a, p) % p == 1
+
+    def test_not_invertible(self):
+        with pytest.raises(ValueError):
+            mod_inverse(6, 9)
+
+    def test_negative_input(self):
+        assert (-3) * mod_inverse(-3, 7) % 7 == 1
+
+
+class TestLegendreSymbol:
+    def test_known_values(self):
+        # Squares mod 7: 1, 2, 4.
+        assert legendre_symbol(2, 7) == 1
+        assert legendre_symbol(3, 7) == -1
+        assert legendre_symbol(0, 7) == 0
+
+    def test_paper_instances(self):
+        # Table I group selection: +1 -> PSL, -1 -> PGL.
+        assert legendre_symbol(11, 7) == 1
+        assert legendre_symbol(23, 11) == 1
+        assert legendre_symbol(53, 17) == 1
+        assert legendre_symbol(71, 17) == -1
+        assert legendre_symbol(89, 19) == -1
+        assert legendre_symbol(23, 13) == 1  # the simulated LPS(23,13)
+        assert legendre_symbol(3, 5) == -1  # Example 1
+
+    def test_multiplicativity(self):
+        p = 31
+        for a in range(1, p):
+            for b in range(1, p):
+                assert (
+                    legendre_symbol(a * b, p)
+                    == legendre_symbol(a, p) * legendre_symbol(b, p)
+                )
+
+    def test_euler_criterion_consistency(self):
+        p = 41
+        squares = {x * x % p for x in range(1, p)}
+        for a in range(1, p):
+            expect = 1 if a in squares else -1
+            assert legendre_symbol(a, p) == expect
+
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ValueError):
+            legendre_symbol(2, 15)
+
+
+class TestSqrtMod:
+    @pytest.mark.parametrize("p", [3, 5, 7, 11, 13, 17, 97, 101])
+    def test_roundtrip(self, p):
+        for a in range(p):
+            r = sqrt_mod(a, p)
+            if legendre_symbol(a, p) == -1:
+                assert r is None
+            else:
+                assert r is not None and r * r % p == a % p
+
+    def test_zero(self):
+        assert sqrt_mod(0, 13) == 0
+
+
+class TestSumOfTwoSquaresPlusOne:
+    def test_paper_example(self):
+        # Example 1 uses (x, y) = (0, 2) for q = 5.
+        assert solve_sum_of_two_squares_plus_one(5) == (0, 2)
+
+    @pytest.mark.parametrize("q", [int(q) for q in primes_below(200) if q > 2])
+    def test_solution_is_valid(self, q):
+        x, y = solve_sum_of_two_squares_plus_one(q)
+        assert (x * x + y * y + 1) % q == 0
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            solve_sum_of_two_squares_plus_one(15)
+
+
+class TestCRT:
+    def test_basic(self):
+        x = crt_pair(2, 3, 3, 5)
+        assert x % 3 == 2 and x % 5 == 3
+
+    def test_rejects_non_coprime(self):
+        with pytest.raises(ValueError):
+            crt_pair(1, 6, 2, 9)

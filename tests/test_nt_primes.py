@@ -1,0 +1,90 @@
+"""Tests for repro.nt.primes."""
+
+import numpy as np
+import pytest
+
+from repro.nt.primes import (
+    is_prime,
+    is_prime_power,
+    next_prime,
+    prime_power_decomposition,
+    primes_below,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 27, 49, 91, 121):
+            assert not is_prime(n)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_carmichael_numbers(self):
+        # Fermat pseudoprimes that fool weak tests.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_prime(n)
+
+    def test_large_primes(self):
+        assert is_prime(104729)  # 10000th prime
+        assert is_prime(2**31 - 1)  # Mersenne
+        assert not is_prime(2**32 + 1)  # F5 = 641 * 6700417
+
+    def test_agrees_with_sieve(self):
+        sieve = set(primes_below(2000).tolist())
+        for n in range(2000):
+            assert is_prime(n) == (n in sieve)
+
+
+class TestPrimesBelow:
+    def test_empty(self):
+        assert len(primes_below(2)) == 0
+        assert len(primes_below(0)) == 0
+
+    def test_counts(self):
+        assert len(primes_below(100)) == 25
+        assert len(primes_below(1000)) == 168
+
+    def test_first_values(self):
+        assert primes_below(12).tolist() == [2, 3, 5, 7, 11]
+
+
+class TestNextPrime:
+    def test_basic(self):
+        assert next_prime(2) == 3
+        assert next_prime(3) == 5
+        assert next_prime(13) == 17
+        assert next_prime(89) == 97
+
+    def test_from_composite(self):
+        assert next_prime(90) == 97
+        assert next_prime(0) == 2
+
+    def test_strictly_greater(self):
+        assert next_prime(7) == 11  # not 7 itself
+
+
+class TestPrimePowers:
+    def test_primes_are_prime_powers(self):
+        for p in (2, 3, 5, 97):
+            assert prime_power_decomposition(p) == (p, 1)
+
+    def test_proper_powers(self):
+        assert prime_power_decomposition(4) == (2, 2)
+        assert prime_power_decomposition(8) == (2, 3)
+        assert prime_power_decomposition(9) == (3, 2)
+        assert prime_power_decomposition(27) == (3, 3)
+        assert prime_power_decomposition(125) == (5, 3)
+        assert prime_power_decomposition(1024) == (2, 10)
+
+    def test_non_prime_powers(self):
+        for n in (1, 6, 12, 36, 100, 0, -8):
+            assert prime_power_decomposition(n) is None
+
+    def test_is_prime_power(self):
+        assert is_prime_power(27)
+        assert not is_prime_power(28)

@@ -1,0 +1,93 @@
+"""Tests for repro.nt.quaternions."""
+
+import pytest
+
+from repro.nt.primes import primes_below
+from repro.nt.quaternions import (
+    Quaternion,
+    lps_generators_alpha,
+    sum_of_four_squares_representations,
+)
+
+
+class TestQuaternionAlgebra:
+    def test_norm(self):
+        assert Quaternion(1, 2, 3, 4).norm() == 30
+
+    def test_conjugate_norm_product(self):
+        q = Quaternion(2, -1, 3, 0)
+        prod = q * q.conjugate()
+        assert (prod.a, prod.b, prod.c, prod.d) == (q.norm(), 0, 0, 0)
+
+    def test_multiplication_non_commutative(self):
+        i = Quaternion(0, 1, 0, 0)
+        j = Quaternion(0, 0, 1, 0)
+        k = Quaternion(0, 0, 0, 1)
+        ij = i * j
+        ji = j * i
+        assert (ij.a, ij.b, ij.c, ij.d) == (0, 0, 0, 1)  # ij = k
+        assert (ji.a, ji.b, ji.c, ji.d) == (0, 0, 0, -1)  # ji = -k
+        ksq = k * k
+        assert ksq.a == -1
+
+    def test_norm_multiplicative(self):
+        q1 = Quaternion(1, 2, -1, 3)
+        q2 = Quaternion(0, -2, 4, 1)
+        assert (q1 * q2).norm() == q1.norm() * q2.norm()
+
+    def test_addition(self):
+        s = Quaternion(1, 2, 3, 4) + Quaternion(4, 3, 2, 1)
+        assert (s.a, s.b, s.c, s.d) == (5, 5, 5, 5)
+
+
+class TestFourSquares:
+    @pytest.mark.parametrize("p", [3, 5, 7, 11, 13, 17, 19, 23, 29])
+    def test_jacobi_count_for_primes(self, p):
+        # Jacobi: r4(n) = 8 sigma(n) for odd n -> 8(p+1) for prime p.
+        reps = sum_of_four_squares_representations(p)
+        assert len(reps) == 8 * (p + 1)
+
+    def test_all_sums_correct(self):
+        for rep in sum_of_four_squares_representations(13):
+            assert sum(x * x for x in rep) == 13
+
+    def test_zero(self):
+        assert sum_of_four_squares_representations(0) == [(0, 0, 0, 0)]
+
+
+class TestLPSGeneratorSolutions:
+    @pytest.mark.parametrize("p", [int(p) for p in primes_below(60) if p > 2])
+    def test_count_is_p_plus_1(self, p):
+        assert len(lps_generators_alpha(p)) == p + 1
+
+    def test_paper_example_p3(self):
+        # Example 1: the four solutions for p = 3.
+        sols = set(lps_generators_alpha(3))
+        assert sols == {
+            (0, 1, 1, 1),
+            (0, 1, -1, -1),
+            (0, 1, -1, 1),
+            (0, 1, 1, -1),
+        }
+
+    def test_normalisation_p1mod4(self):
+        for a0, a1, a2, a3 in lps_generators_alpha(13):
+            assert a0 > 0 and a0 % 2 == 1
+            # The other components must be even (norm = 1 mod 4 forces it).
+            assert a1 % 2 == a2 % 2 == a3 % 2 == 0
+
+    def test_normalisation_p3mod4(self):
+        for a0, a1, a2, a3 in lps_generators_alpha(23):
+            assert (a0 > 0 and a0 % 2 == 0) or (a0 == 0 and a1 > 0)
+
+    def test_closed_under_conjugation_or_involution(self):
+        # For p=1 (mod 4): conjugate of a solution is a solution.
+        sols = set(lps_generators_alpha(13))
+        for a0, a1, a2, a3 in sols:
+            assert (a0, -a1, -a2, -a3) in sols
+
+    def test_rejects_even_or_unit(self):
+        with pytest.raises(ValueError):
+            lps_generators_alpha(4)
+        with pytest.raises(ValueError):
+            lps_generators_alpha(1)

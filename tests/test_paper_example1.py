@@ -1,0 +1,99 @@
+"""Exact reproduction of the paper's worked Example 1 and Figure 2.
+
+Example 1 constructs LPS(3, 5) by hand: the group is PGL(2, F5), the
+normalised four-square solutions are (0,1,±1,±1), (x, y) = (0, 2), and the
+generator for (0,1,1,1) has canonical coset representative [[1,2],[1,4]].
+Figure 2 shows the vertex {[[0,1],[1,2]], ...} with its four neighbours
+[[1,1],[2,4]], [[1,4],[3,4]], [[1,2],[1,4]], [[1,3],[4,4]].
+
+These tests pin every number in that walkthrough.
+"""
+
+import numpy as np
+
+from repro.algebra.mat2 import mat_canonicalize, mat_encode, mat_multiply
+from repro.nt.modular import legendre_symbol, solve_sum_of_two_squares_plus_one
+from repro.nt.quaternions import lps_generators_alpha
+from repro.topology.lps import build_lps, lps_generator_matrices
+
+Q = 5
+
+
+class TestExample1:
+    def test_group_is_pgl(self):
+        # "Since x^2 != 3 (mod 5) for any x, the Legendre symbol (3/5) = -1
+        # and hence the group is PGL(2, F5)."
+        assert legendre_symbol(3, 5) == -1
+        assert build_lps(3, 5).n_routers == 120  # |PGL(2,5)|
+
+    def test_four_square_solutions(self):
+        assert set(lps_generators_alpha(3)) == {
+            (0, 1, 1, 1),
+            (0, 1, -1, -1),
+            (0, 1, -1, 1),
+            (0, 1, 1, -1),
+        }
+
+    def test_xy_solution(self):
+        # "using (x, y) = (0, 2) as a solution to x^2 + y^2 + 1 = 0 (mod 5)"
+        assert solve_sum_of_two_squares_plus_one(5) == (0, 2)
+
+    def test_generator_for_0111(self):
+        # "the coset for the generator corresponding to (0,1,1,1) is
+        # {[[1,2],[1,4]], ...}".
+        gens = lps_generator_matrices(3, 5)
+        keys = set(mat_encode(gens, Q).tolist())
+        expected = mat_canonicalize(np.array([1, 2, 1, 4]), Q)
+        assert int(mat_encode(expected, Q)[0]) in keys
+
+    def test_figure2_edge_labels_are_the_generators(self):
+        # Figure 2 labels the four edges out of [[0,1],[1,2]] by the
+        # generating elements u^-1 v: [[1,1],[2,4]], [[1,4],[3,4]],
+        # [[1,2],[1,4]], [[1,3],[4,4]] — exactly the generator set S.
+        gens = lps_generator_matrices(3, 5)
+        got = set(mat_encode(gens, Q).tolist())
+        figure2 = [
+            [1, 1, 2, 4],
+            [1, 4, 3, 4],
+            [1, 2, 1, 4],
+            [1, 3, 4, 4],
+        ]
+        want = set(
+            mat_encode(mat_canonicalize(np.array(figure2), Q), Q).tolist()
+        )
+        assert got == want
+
+    def test_figure2_neighborhood_degree(self):
+        # The centre vertex [[0,1],[1,2]] has exactly 4 distinct neighbours
+        # v*s, none equal to the centre itself.
+        center = mat_canonicalize(np.array([0, 1, 1, 2]), Q)[0]
+        gens = lps_generator_matrices(3, 5)
+        nbrs = mat_canonicalize(mat_multiply(center[None, :], gens, Q), Q)
+        keys = set(mat_encode(nbrs, Q).tolist())
+        assert len(keys) == 4
+        assert int(mat_encode(center[None, :], Q)[0]) not in keys
+
+    def test_figure2_scalar_coset_members(self):
+        # The example lists {[[0,1],[1,2]], [[0,2],[2,4]], [[0,3],[3,1]],
+        # [[0,4],[4,3]]} as ONE projective vertex.
+        reps = np.array(
+            [
+                [0, 1, 1, 2],
+                [0, 2, 2, 4],
+                [0, 3, 3, 1],
+                [0, 4, 4, 3],
+            ]
+        )
+        canon = mat_canonicalize(reps, Q)
+        keys = mat_encode(canon, Q)
+        assert len(np.unique(keys)) == 1
+
+    def test_generators_are_involutions(self):
+        # p = 3 = 3 (mod 4) with a0 = 0: every generator squares to a
+        # scalar, i.e. is an involution in PGL(2,5) — which is why the
+        # generator set is symmetric despite conjugation leaving it.
+        gens = lps_generator_matrices(3, 5)
+        squares = mat_multiply(gens, gens, Q)
+        for s in squares:
+            m = s.reshape(2, 2)
+            assert m[0, 1] == 0 and m[1, 0] == 0 and m[0, 0] == m[1, 1]

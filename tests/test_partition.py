@@ -1,0 +1,157 @@
+"""Tests for the multilevel partitioner (METIS stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.partition import (
+    WeightedGraph,
+    bisect,
+    bisection_bandwidth,
+    kernighan_lin_bisection,
+)
+from repro.partition.coarsen import contract, heavy_edge_matching
+from repro.partition.refine import fm_refine, rebalance
+
+
+def _balanced(labels):
+    c0 = int((labels == 0).sum())
+    c1 = int((labels == 1).sum())
+    return abs(c0 - c1) <= 1
+
+
+class TestWeightedGraph:
+    def test_from_csr_unit_weights(self):
+        g = cycle_graph(6)
+        wg = WeightedGraph.from_csr(g)
+        assert wg.total_vweight() == 6
+        assert wg.eweights.sum() == 2 * 6
+
+    def test_cut_value(self):
+        g = cycle_graph(6)
+        wg = WeightedGraph.from_csr(g)
+        labels = np.array([0, 0, 0, 1, 1, 1], dtype=np.int8)
+        assert wg.cut_value(labels) == 2
+
+
+class TestCoarsening:
+    def test_matching_is_valid(self):
+        g = random_regular_graph(50, 4, seed=1)
+        wg = WeightedGraph.from_csr(g)
+        match = heavy_edge_matching(wg, np.random.default_rng(0))
+        for v in range(50):
+            assert match[match[v]] == v  # involution
+
+    def test_contract_preserves_total_weight(self):
+        g = random_regular_graph(40, 4, seed=2)
+        wg = WeightedGraph.from_csr(g)
+        match = heavy_edge_matching(wg, np.random.default_rng(0))
+        coarse, mapping = contract(wg, match)
+        assert coarse.total_vweight() == 40
+        assert coarse.n < 40
+        assert mapping.max() == coarse.n - 1
+
+    def test_contract_preserves_cut(self):
+        # Any coarse bisection lifts to a fine bisection of the same cut.
+        g = hypercube_graph(4)
+        wg = WeightedGraph.from_csr(g)
+        match = heavy_edge_matching(wg, np.random.default_rng(3))
+        coarse, mapping = contract(wg, match)
+        rng = np.random.default_rng(1)
+        clabels = (rng.random(coarse.n) < 0.5).astype(np.int8)
+        assert coarse.cut_value(clabels) == wg.cut_value(clabels[mapping])
+
+
+class TestRefinement:
+    def test_fm_never_worsens(self):
+        g = random_regular_graph(60, 4, seed=4)
+        wg = WeightedGraph.from_csr(g)
+        rng = np.random.default_rng(0)
+        labels = (rng.random(60) < 0.5).astype(np.int8)
+        before = wg.cut_value(labels)
+        _, after = fm_refine(wg, labels)
+        assert after <= before
+
+    def test_rebalance_restores_balance(self):
+        g = random_regular_graph(40, 4, seed=5)
+        wg = WeightedGraph.from_csr(g)
+        labels = np.zeros(40, dtype=np.int8)
+        labels[:5] = 1  # badly unbalanced
+        out = rebalance(wg, labels)
+        assert _balanced(out)
+
+
+class TestBisect:
+    def test_cycle_optimal(self):
+        labels, cut = bisect(cycle_graph(20), seed=0)
+        assert cut == 2
+        assert _balanced(labels)
+
+    def test_hypercube_optimal(self):
+        for d in (3, 4, 5):
+            _, cut = bisect(hypercube_graph(d), seed=0)
+            assert cut == 2 ** (d - 1)
+
+    def test_two_cliques_bridge(self):
+        # Two K_8s joined by one edge: optimal bisection cuts only it.
+        edges = []
+        for base in (0, 8):
+            for i in range(8):
+                for j in range(i + 1, 8):
+                    edges.append((base + i, base + j))
+        edges.append((0, 8))
+        g = CSRGraph.from_edges(16, np.array(edges))
+        labels, cut = bisect(g, seed=1)
+        assert cut == 1
+        assert _balanced(labels)
+
+    def test_labels_binary(self):
+        labels, _ = bisect(torus_graph((4, 4)), seed=2)
+        assert set(np.unique(labels).tolist()) <= {0, 1}
+
+    def test_odd_vertex_count(self):
+        g = cycle_graph(21)
+        labels, cut = bisect(g, seed=3)
+        assert abs(int((labels == 0).sum()) - int((labels == 1).sum())) <= 1
+
+
+class TestBisectionBandwidth:
+    def test_returns_min_over_repeats(self):
+        g = hypercube_graph(5)
+        assert bisection_bandwidth(g, repeats=4, seed=0) == 16
+
+    def test_complete_graph(self):
+        # K_8 balanced cut = 4 * 4 = 16 whatever the split.
+        assert bisection_bandwidth(complete_graph(8), repeats=2) == 16
+
+    def test_beats_or_ties_kl(self):
+        g = random_regular_graph(80, 6, seed=7)
+        ml = bisection_bandwidth(g, repeats=4, seed=0)
+        _, kl = kernighan_lin_bisection(g, seed=0)
+        assert ml <= kl + 2  # multilevel should not lose badly to flat KL
+
+
+class TestKernighanLin:
+    def test_balanced_output(self):
+        g = random_regular_graph(60, 4, seed=8)
+        labels, cut = kernighan_lin_bisection(g, seed=1)
+        assert _balanced(labels)
+        assert cut >= 1
+
+    def test_improves_over_random(self):
+        g = hypercube_graph(5)
+        rng = np.random.default_rng(0)
+        random_labels = np.zeros(32, dtype=np.int8)
+        random_labels[rng.permutation(32)[:16]] = 1
+        from repro.partition.weighted import WeightedGraph as WG
+
+        random_cut = WG.from_csr(g).cut_value(random_labels)
+        _, kl_cut = kernighan_lin_bisection(g, seed=0)
+        assert kl_cut <= random_cut

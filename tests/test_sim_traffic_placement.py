@@ -1,0 +1,112 @@
+"""Tests for traffic patterns and rank placement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.placement import place_ranks
+from repro.sim.traffic import (
+    BitComplementTraffic,
+    BitReverseTraffic,
+    BitShuffleTraffic,
+    TransposeTraffic,
+    UniformRandomTraffic,
+    make_traffic,
+)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestPatternsArePermutations:
+    @pytest.mark.parametrize(
+        "cls", [BitShuffleTraffic, BitReverseTraffic, TransposeTraffic,
+                BitComplementTraffic]
+    )
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_bijective(self, cls, n):
+        pat = cls(n)
+        dsts = {pat.destination(s, RNG) for s in range(n)}
+        assert len(dsts) == n
+
+    def test_shuffle_is_rotate_left(self):
+        pat = BitShuffleTraffic(16)
+        assert pat.destination(0b0001, RNG) == 0b0010
+        assert pat.destination(0b1000, RNG) == 0b0001
+        assert pat.destination(0b1010, RNG) == 0b0101
+
+    def test_reverse(self):
+        pat = BitReverseTraffic(16)
+        assert pat.destination(0b0001, RNG) == 0b1000
+        assert pat.destination(0b1100, RNG) == 0b0011
+
+    def test_transpose_swaps_halves(self):
+        pat = TransposeTraffic(16)
+        assert pat.destination(0b0111, RNG) == 0b1101
+        assert pat.destination(0b0011, RNG) == 0b1100
+
+    def test_complement(self):
+        pat = BitComplementTraffic(16)
+        assert pat.destination(0b0101, RNG) == 0b1010
+
+    def test_involutions(self):
+        # reverse, transpose, complement are involutions; shuffle is not.
+        for cls in (BitReverseTraffic, TransposeTraffic, BitComplementTraffic):
+            pat = cls(64)
+            for s in range(64):
+                assert pat.destination(pat.destination(s, RNG), RNG) == s
+
+    def test_pow2_required(self):
+        with pytest.raises(ParameterError):
+            BitShuffleTraffic(12)
+
+
+class TestRandomPattern:
+    def test_never_self(self):
+        pat = UniformRandomTraffic(10)
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            s = int(rng.integers(10))
+            assert pat.destination(s, rng) != s
+
+    def test_roughly_uniform(self):
+        pat = UniformRandomTraffic(8)
+        rng = np.random.default_rng(2)
+        counts = np.zeros(8)
+        for _ in range(8000):
+            counts[pat.destination(0, rng)] += 1
+        assert counts[0] == 0
+        assert counts[1:].min() > 800  # ~1143 expected
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("random", "shuffle", "reverse", "transpose", "complement"):
+            assert make_traffic(name, 64).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ParameterError):
+            make_traffic("zigzag", 64)
+
+
+class TestPlacement:
+    def test_sequential(self):
+        assert place_ranks(5, 10, strategy="sequential").tolist() == [0, 1, 2, 3, 4]
+
+    def test_full_subscription_is_identity(self):
+        assert np.array_equal(place_ranks(8, 8), np.arange(8))
+
+    def test_random_nodes_sorted_subset(self):
+        m = place_ranks(50, 200, seed=3)
+        assert len(m) == 50
+        assert len(np.unique(m)) == 50
+        assert np.all(np.diff(m) > 0)  # ranks fill chosen nodes in order
+        assert m.max() < 200
+
+    def test_over_subscription_rejected(self):
+        with pytest.raises(ParameterError):
+            place_ranks(11, 10)
+
+    def test_seeded(self):
+        assert np.array_equal(place_ranks(20, 100, seed=7), place_ranks(20, 100, seed=7))
+        assert not np.array_equal(place_ranks(20, 100, seed=7), place_ranks(20, 100, seed=8))

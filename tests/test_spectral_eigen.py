@@ -1,0 +1,121 @@
+"""Tests for eigenvalue machinery against closed-form spectra."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.spectral.eigen import (
+    adjacency_extremes,
+    is_ramanujan,
+    lambda_g,
+    mu1,
+    normalized_laplacian_gap,
+    spectral_gap,
+)
+from repro.spectral.reference import (
+    complete_graph_spectrum,
+    cycle_graph_spectrum,
+    hypercube_spectrum,
+    torus_spectrum,
+)
+
+
+class TestAgainstClosedForms:
+    def test_complete(self):
+        g = complete_graph(9)
+        lo, hi = adjacency_extremes(g)
+        exact = complete_graph_spectrum(9)
+        assert hi[-1] == pytest.approx(exact[-1])
+        assert lo[0] == pytest.approx(exact[0])
+
+    def test_cycle(self):
+        g = cycle_graph(12)
+        lo, hi = adjacency_extremes(g)
+        exact = cycle_graph_spectrum(12)
+        assert hi[-1] == pytest.approx(exact[-1])
+        assert hi[-2] == pytest.approx(exact[-2], abs=1e-8)
+        assert lo[0] == pytest.approx(exact[0])
+
+    def test_hypercube(self):
+        g = hypercube_graph(5)
+        lo, hi = adjacency_extremes(g)
+        assert hi[-1] == pytest.approx(5.0)
+        assert hi[-2] == pytest.approx(3.0)
+        assert lo[0] == pytest.approx(-5.0)
+
+    def test_torus(self):
+        dims = (4, 5)
+        g = torus_graph(dims)
+        exact = torus_spectrum(dims)
+        lo, hi = adjacency_extremes(g)
+        assert hi[-1] == pytest.approx(exact[-1])
+        assert hi[-2] == pytest.approx(exact[-2], abs=1e-8)
+
+    def test_hypercube_spectrum_multiplicities(self):
+        spec = hypercube_spectrum(4)
+        assert len(spec) == 16
+        vals, counts = np.unique(spec, return_counts=True)
+        assert vals.tolist() == [-4.0, -2.0, 0.0, 2.0, 4.0]
+        assert counts.tolist() == [1, 4, 6, 4, 1]
+
+
+class TestDerivedQuantities:
+    def test_mu1_hypercube(self):
+        # Q_d: lambda(G) = d - 2 (the -d eigenvalue is excluded as
+        # bipartite) -> mu1 = 2/d.
+        for d in (3, 4, 6):
+            assert mu1(hypercube_graph(d)) == pytest.approx(2.0 / d, abs=1e-8)
+
+    def test_mu1_complete_uses_magnitude(self):
+        # K_n: lambda(G) = |-1| = 1 -> mu1 = (n-2)/(n-1) (Table I convention;
+        # the signed-lambda2 Laplacian gap would exceed 1 here).
+        assert mu1(complete_graph(9)) == pytest.approx(7.0 / 8.0)
+
+    def test_spectral_gap_complete(self):
+        # K_n: gap = (n-1) - (-1) = n.
+        assert spectral_gap(complete_graph(8)) == pytest.approx(8.0)
+
+    def test_lambda_g_complete(self):
+        assert lambda_g(complete_graph(10)) == pytest.approx(1.0)
+
+    def test_lambda_g_bipartite_excludes_minus_k(self):
+        # C6 is 2-regular bipartite: eigenvalues 2, 1, -1, -2.
+        g = cycle_graph(6)
+        assert lambda_g(g) == pytest.approx(1.0, abs=1e-8)
+
+    def test_normalized_laplacian_matches_spectral_gap_for_regular(self):
+        g = random_regular_graph(60, 6, seed=2)
+        assert normalized_laplacian_gap(g) == pytest.approx(
+            spectral_gap(g) / 6.0, abs=1e-6
+        )
+
+
+class TestRamanujanPredicate:
+    def test_complete_is_ramanujan(self):
+        # K_n: lambda = 1 <= 2 sqrt(n-2).
+        assert is_ramanujan(complete_graph(10))
+
+    def test_long_cycle_not_ramanujan(self):
+        # C_n (k=2): bound is 2; lambda2 = 2cos(2pi/n) < 2 -> technically
+        # Ramanujan. Hypercubes are NOT: lambda = d-2 > 2 sqrt(d-1) for d >= 8.
+        assert not is_ramanujan(hypercube_graph(8))
+
+    def test_random_regular_usually_near_ramanujan(self):
+        # Friedman: lambda -> 2 sqrt(k-1) + o(1); with slack it passes.
+        g = random_regular_graph(200, 4, seed=8)
+        assert lambda_g(g) < 2.0 * np.sqrt(3.0) + 0.5
+
+
+class TestLanczosPath:
+    def test_large_graph_uses_sparse_solver(self):
+        # n > dense threshold: exercised via a 2000-vertex random regular.
+        g = random_regular_graph(2000, 4, seed=1)
+        lo, hi = adjacency_extremes(g)
+        assert hi[-1] == pytest.approx(4.0, abs=1e-5)
+        assert lo[0] >= -4.0 - 1e-9

@@ -1,0 +1,59 @@
+"""Tests for the classical-topology spectral survey ([10] context)."""
+
+import pytest
+
+from repro.spectral.survey import classical_survey, hypercube_gap_deficit, survey_row
+from repro.graphs.generators import hypercube_graph
+
+
+class TestSurvey:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return classical_survey(seed=0)
+
+    def test_all_families_present(self, rows):
+        names = {r["topology"] for r in rows}
+        assert any("hypercube" in n for n in names)
+        assert any("torus" in n for n in names)
+        assert any("LPS" in n for n in names)
+
+    def test_hypercube_far_from_ramanujan(self, rows):
+        row = next(r for r in rows if "hypercube" in r["topology"])
+        assert not row["ramanujan"]
+        assert row["lambda_over_bound"] > 1.1
+
+    def test_torus_far_from_ramanujan(self, rows):
+        row = next(r for r in rows if "torus" in r["topology"])
+        assert not row["ramanujan"]
+
+    def test_lps_is_ramanujan(self, rows):
+        row = next(r for r in rows if "LPS" in r["topology"])
+        assert row["ramanujan"]
+        assert row["lambda_over_bound"] <= 1.0 + 1e-9
+
+    def test_jellyfish_close_but_above(self, rows):
+        # Friedman: random regular is almost-Ramanujan.
+        row = next(r for r in rows if "Jellyfish" in r["topology"])
+        assert 0.8 < row["lambda_over_bound"] < 1.3
+
+    def test_complete_is_ramanujan(self, rows):
+        row = next(r for r in rows if "complete" in r["topology"])
+        assert row["ramanujan"]
+
+
+class TestClosedForm:
+    def test_hypercube_deficit_formula(self):
+        # lambda(Q_d) = d-2; check against the numeric survey value.
+        row = survey_row("q6", hypercube_graph(6))
+        assert row["lambda"] == pytest.approx(4.0, abs=1e-6)
+        assert row["lambda_over_bound"] == pytest.approx(
+            hypercube_gap_deficit(6), abs=1e-3
+        )
+
+    def test_deficit_grows_with_dimension(self):
+        vals = [hypercube_gap_deficit(d) for d in range(4, 16)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+        # (d-2) > 2 sqrt(d-1) first holds at d = 7: hypercubes stop being
+        # Ramanujan from dimension 7 onward.
+        assert hypercube_gap_deficit(7) > 1.0
+        assert hypercube_gap_deficit(6) < 1.0

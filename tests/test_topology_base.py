@@ -1,0 +1,55 @@
+"""Tests for the Topology wrapper itself."""
+
+import pytest
+
+from repro.graphs.generators import cycle_graph, hypercube_graph
+from repro.topology.base import Topology
+
+
+@pytest.fixture
+def topo():
+    return Topology(
+        name="T", family="test", graph=hypercube_graph(3),
+        params={"d": 3}, vertex_transitive=True,
+    )
+
+
+class TestTopology:
+    def test_counts(self, topo):
+        assert topo.n_routers == 8
+        assert topo.n_links == 12
+        assert topo.radix == 3
+
+    def test_endpoints(self, topo):
+        assert topo.endpoints(4) == 32
+
+    def test_describe(self, topo):
+        d = topo.describe()
+        assert d["name"] == "T"
+        assert d["routers"] == 8
+        assert d["radix"] == 3
+        assert d["links"] == 12
+
+    def test_radix_of_irregular_is_max_degree(self):
+        import numpy as np
+
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [1, 2], [1, 3]]))
+        t = Topology(name="star-ish", family="test", graph=g)
+        assert t.radix == 3
+
+    def test_empty_graph_radix(self):
+        from repro.graphs.csr import CSRGraph
+        import numpy as np
+
+        g = CSRGraph(0, np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int32))
+        t = Topology(name="empty", family="test", graph=g)
+        assert t.radix == 0
+
+    def test_params_preserved(self, topo):
+        assert topo.params == {"d": 3}
+
+    def test_vertex_transitive_default_false(self):
+        t = Topology(name="c", family="test", graph=cycle_graph(5))
+        assert not t.vertex_transitive

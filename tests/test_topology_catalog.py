@@ -1,0 +1,77 @@
+"""Tests for the size-class catalog and feasibility sweeps."""
+
+import pytest
+
+from repro.topology.catalog import (
+    SIM_CONFIGS,
+    SIZE_CLASSES,
+    build_size_class,
+    feasible_sizes_per_radix,
+)
+
+# Table I: (routers, radix) per instance name.
+TABLE1_SIZES = {
+    1: {"LPS": (168, 12), "SlimFly": (98, 11), "BundleFly": (234, 11), "DragonFly": (156, 12)},
+    2: {"LPS": (660, 24), "SlimFly": (578, 25), "BundleFly": (666, 23), "DragonFly": (600, 24)},
+    3: {"LPS": (2448, 54), "SlimFly": (2738, 55), "BundleFly": (3104, 54), "DragonFly": (2862, 53)},
+    4: {"LPS": (4896, 72), "SlimFly": (4418, 71), "BundleFly": (4384, 74), "DragonFly": (4830, 69)},
+    5: {"LPS": (6840, 90), "SlimFly": (6962, 89), "BundleFly": (7850, 85), "DragonFly": (7310, 85)},
+}
+
+
+class TestSizeClasses:
+    def test_five_classes(self):
+        assert [s["class"] for s in SIZE_CLASSES] == [1, 2, 3, 4, 5]
+
+    @pytest.mark.parametrize("cid", [1, 2])
+    def test_built_sizes_match_table1(self, cid):
+        topos = build_size_class(cid)
+        for fam, (n, k) in TABLE1_SIZES[cid].items():
+            assert topos[fam].n_routers == n, fam
+            assert topos[fam].radix == k, fam
+
+    def test_family_filter(self):
+        topos = build_size_class(1, families=("LPS",))
+        assert set(topos) == {"LPS"}
+
+
+class TestSimConfigs:
+    def test_scales_present(self):
+        assert set(SIM_CONFIGS) == {"paper", "small"}
+
+    def test_paper_scale_endpoints(self):
+        # Section VI: ~8.7K endpoints.
+        cfg = SIM_CONFIGS["paper"]
+        spec = cfg["topologies"]["SpectralFly"]
+        topo = spec["build"]()
+        assert topo.n_routers == 1092  # LPS(23,13)
+        assert topo.n_routers * spec["concentration"] == 8736
+        bf = cfg["topologies"]["BundleFly"]
+        assert bf["build"]().n_routers * bf["concentration"] == 8748
+
+    def test_small_scale_fits_ranks(self):
+        cfg = SIM_CONFIGS["small"]
+        for name, spec in cfg["topologies"].items():
+            topo = spec["build"]()
+            assert topo.n_routers * spec["concentration"] >= cfg["n_ranks"], name
+
+
+class TestFeasibleSizes:
+    def test_families_present(self):
+        feas = feasible_sizes_per_radix(max_vertices=2000, max_param=60)
+        assert set(feas) == {"LPS", "SlimFly", "BundleFly", "DragonFly"}
+
+    def test_lps_many_sizes_per_radix(self):
+        feas = feasible_sizes_per_radix(max_vertices=10000, max_param=100)
+        lps_radix4 = [n for k, n in feas["LPS"] if k == 4]
+        assert len(lps_radix4) >= 3
+
+    def test_slimfly_unique_size_per_radix(self):
+        feas = feasible_sizes_per_radix(max_vertices=10000, max_param=100)
+        radii = [k for k, _ in feas["SlimFly"]]
+        assert len(radii) == len(set(radii))
+
+    def test_dragonfly_quadratic(self):
+        feas = feasible_sizes_per_radix(max_vertices=10000, max_param=100)
+        for k, n in feas["DragonFly"]:
+            assert n == k * (k + 1)

@@ -1,0 +1,86 @@
+"""Tests for canonical and general DragonFly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.metrics import diameter, girth, is_connected
+from repro.topology.dragonfly import build_canonical_dragonfly, build_dragonfly
+
+
+class TestCanonical:
+    @pytest.mark.parametrize("a", [4, 8, 12, 24])
+    def test_size_and_radix(self, a):
+        t = build_canonical_dragonfly(a)
+        assert t.n_routers == a * (a + 1)
+        assert np.all(t.graph.degrees() == a)
+        assert is_connected(t.graph)
+
+    def test_diameter_three(self, df_12):
+        assert diameter(df_12.graph) == 3
+
+    def test_girth_three(self, df_12):
+        assert girth(df_12.graph, sample=8) == 3
+
+    def test_one_global_link_per_group_pair(self):
+        a = 8
+        t = build_canonical_dragonfly(a)
+        edges = t.graph.edge_array()
+        gu, gv = edges[:, 0] // a, edges[:, 1] // a
+        cross = edges[gu != gv]
+        pair_keys = gu[gu != gv] * 100 + gv[gu != gv]
+        uniq, counts = np.unique(pair_keys, return_counts=True)
+        assert len(uniq) == (a + 1) * a // 2  # every pair present
+        assert np.all(counts == 1)
+
+    def test_absolute_arrangement(self):
+        t = build_canonical_dragonfly(8, arrangement="absolute")
+        assert np.all(t.graph.degrees() == 8)
+        assert diameter(t.graph) == 3
+
+    def test_arrangements_differ(self):
+        c = build_canonical_dragonfly(8, arrangement="circulant")
+        a = build_canonical_dragonfly(8, arrangement="absolute")
+        assert not np.array_equal(c.graph.edge_array(), a.graph.edge_array())
+
+    def test_rejects_bad_arrangement(self):
+        with pytest.raises(ParameterError):
+            build_canonical_dragonfly(8, arrangement="fancy")
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ParameterError):
+            build_canonical_dragonfly(1)
+
+
+class TestGeneral:
+    def test_paper_simulation_config(self):
+        # Section VI: a=16, h=8, g=69 (balanced DragonFly, 32-port routers
+        # with p=8 endpoint ports).
+        t = build_dragonfly(a=16, h=8, g=69)
+        assert t.n_routers == 16 * 69
+        degs = t.graph.degrees()
+        assert degs.max() <= 15 + 8
+        assert is_connected(t.graph)
+        assert diameter(t.graph) == 3
+
+    def test_small_instance(self):
+        t = build_dragonfly(a=4, h=2, g=9)
+        assert t.n_routers == 36
+        assert is_connected(t.graph)
+        # every router has a-1=3 local links and at most h=2 global.
+        assert t.graph.degrees().max() <= 5
+
+    def test_global_ports_balanced(self):
+        a, h, g = 4, 2, 9
+        t = build_dragonfly(a=a, h=h, g=g)
+        edges = t.graph.edge_array()
+        gu, gv = edges[:, 0] // a, edges[:, 1] // a
+        cross = edges[gu != gv]
+        counts = np.bincount(cross.ravel(), minlength=t.n_routers)
+        assert counts.max() <= h
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            build_dragonfly(a=1, h=1, g=5)
+        with pytest.raises(ParameterError):
+            build_dragonfly(a=4, h=2, g=2)

@@ -1,0 +1,93 @@
+"""Tests for MMS graphs / SlimFly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.metrics import diameter, girth, is_connected
+from repro.topology.mms import build_mms, build_slimfly, mms_delta, mms_radix
+
+
+class TestParameters:
+    def test_delta(self):
+        assert mms_delta(5) == 1
+        assert mms_delta(7) == -1
+        assert mms_delta(4) == 0
+        assert mms_delta(9) == 1
+        assert mms_delta(27) == -1
+
+    def test_delta_rejects_2_mod_4(self):
+        with pytest.raises(ParameterError):
+            mms_delta(6)
+
+    def test_radix(self):
+        assert mms_radix(5) == 7
+        assert mms_radix(7) == 11
+        assert mms_radix(17) == 25
+        assert mms_radix(4) == 6
+
+
+class TestHoffmanSingleton:
+    """MMS(5) must be the Hoffman-Singleton graph — the unique (7,5)-cage."""
+
+    @pytest.fixture(scope="class")
+    def hs(self):
+        return build_mms(5)
+
+    def test_order_and_degree(self, hs):
+        assert hs.graph.n == 50
+        assert hs.graph.degree() == 7
+
+    def test_girth_five(self, hs):
+        assert girth(hs.graph) == 5
+
+    def test_diameter_two(self, hs):
+        assert diameter(hs.graph) == 2
+
+    def test_moore_spectrum(self, hs):
+        vals = np.linalg.eigvalsh(hs.graph.adjacency().toarray())
+        uniq = np.unique(np.round(vals, 8))
+        assert np.allclose(uniq, [-3.0, 2.0, 7.0])
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("q", [3, 4, 5, 7, 8, 9, 11, 13, 17])
+    def test_defining_parameters(self, q):
+        t = build_mms(q)
+        assert t.graph.n == 2 * q * q
+        assert t.graph.degree() == mms_radix(q)
+        assert diameter(t.graph, sample=None if q <= 9 else 16) == 2
+        assert is_connected(t.graph)
+
+    def test_rejects_q2mod4(self):
+        with pytest.raises(ParameterError):
+            build_mms(6)
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ParameterError):
+            build_mms(15)
+
+    def test_prime_power_cases(self):
+        # GF(9) (delta=1 extension) and GF(4) (delta=0, char 2).
+        t9 = build_mms(9)
+        assert t9.graph.n == 162 and t9.graph.degree() == 13
+        t4 = build_mms(4)
+        assert t4.graph.n == 32 and t4.graph.degree() == 6
+
+
+class TestSlimFly:
+    def test_naming(self, sf_7):
+        assert sf_7.name == "SF(7)"
+        assert sf_7.family == "SlimFly"
+
+    def test_table1_instances(self, sf_7, sf_17):
+        # Table I: SF(7) 98 routers radix 11; SF(17) 578 routers radix 25.
+        assert (sf_7.n_routers, sf_7.radix) == (98, 11)
+        assert (sf_17.n_routers, sf_17.radix) == (578, 25)
+
+    def test_always_diameter_two(self, sf_7, sf_17):
+        assert diameter(sf_7.graph) == 2
+        assert diameter(sf_17.graph, sample=32) == 2
+
+    def test_girth_three(self, sf_7):
+        assert girth(sf_7.graph, assume_vertex_transitive=True) == 3

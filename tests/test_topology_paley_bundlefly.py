@@ -1,0 +1,95 @@
+"""Tests for Paley graphs and BundleFly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.metrics import average_distance, diameter, is_connected
+from repro.spectral.eigen import adjacency_extremes
+from repro.topology.bundlefly import build_bundlefly
+from repro.topology.paley import build_paley
+
+
+class TestPaley:
+    @pytest.mark.parametrize("q", [5, 9, 13, 17, 25, 29])
+    def test_degree_and_order(self, q):
+        t = build_paley(q)
+        assert t.graph.n == q
+        assert t.graph.degree() == (q - 1) // 2
+
+    def test_rejects_3_mod_4(self):
+        with pytest.raises(ParameterError):
+            build_paley(7)
+
+    def test_paley_5_is_c5(self):
+        t = build_paley(5)
+        assert t.graph.num_edges == 5
+        assert diameter(t.graph) == 2
+
+    def test_paley_9_is_strongly_regular(self):
+        # Paley(9) = rook's graph K3 x K3: spectrum {4, 1^4, -2^4}.
+        t = build_paley(9)
+        vals = np.linalg.eigvalsh(t.graph.adjacency().toarray())
+        uniq = np.unique(np.round(vals, 8))
+        assert np.allclose(uniq, [-2.0, 1.0, 4.0])
+
+    def test_conference_spectrum(self):
+        # Paley(q): eigenvalues (-1 +- sqrt(q))/2 besides the degree.
+        q = 13
+        t = build_paley(q)
+        lo, hi = adjacency_extremes(t.graph)
+        assert hi[-1] == pytest.approx((q - 1) / 2)
+        assert hi[-2] == pytest.approx((-1 + np.sqrt(q)) / 2, abs=1e-8)
+        assert lo[0] == pytest.approx((-1 - np.sqrt(q)) / 2, abs=1e-8)
+
+    def test_self_complementary_edge_count(self):
+        q = 17
+        t = build_paley(q)
+        assert t.graph.num_edges == q * (q - 1) // 4
+
+
+class TestBundleFly:
+    def test_table1_instances(self, bf_13_3):
+        assert (bf_13_3.n_routers, bf_13_3.radix) == (234, 11)
+
+    @pytest.mark.parametrize(
+        "p,s,n,k",
+        [
+            (13, 3, 234, 11),
+            (37, 3, 666, 23),
+            (9, 9, 1458, 17),  # the simulated BundleFly: GF(9) Paley + MMS(9)
+        ],
+    )
+    def test_parameter_formulas(self, p, s, n, k):
+        t = build_bundlefly(p, s)
+        assert t.n_routers == n
+        assert t.radix == k
+        assert is_connected(t.graph)
+
+    def test_diameter_three(self, bf_13_3):
+        # The star product bound: diam = diam(MMS) + 1 = 3.
+        assert diameter(bf_13_3.graph) == 3
+
+    def test_table1_average_distance(self, bf_13_3):
+        # Paper Table I: 2.56 for BF(13,3).
+        assert average_distance(bf_13_3.graph) == pytest.approx(2.56, abs=0.01)
+
+    def test_bundles_are_perfect_matchings(self, bf_13_3):
+        # Between adjacent groups exactly p links, one per router.
+        g = bf_13_3.graph
+        p = 13
+        edges = g.edge_array()
+        groups = edges // p
+        cross = edges[groups[:, 0] != groups[:, 1]]
+        # pick one group pair and check the matching property
+        pair_key = groups[groups[:, 0] != groups[:, 1]]
+        first = pair_key[0]
+        mask = (pair_key[:, 0] == first[0]) & (pair_key[:, 1] == first[1])
+        bundle = cross[mask]
+        assert len(bundle) == p
+        assert len(np.unique(bundle[:, 0])) == p
+        assert len(np.unique(bundle[:, 1])) == p
+
+    def test_rejects_bad_paley_parameter(self):
+        with pytest.raises(ParameterError):
+            build_bundlefly(7, 3)  # 7 = 3 (mod 4)

@@ -1,0 +1,120 @@
+"""Tests for the Xpander 2-lift construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.generators import complete_graph, cycle_graph
+from repro.graphs.metrics import is_connected
+from repro.spectral import lambda_g, ramanujan_bound
+from repro.topology.xpander import (
+    build_xpander,
+    signed_lambda,
+    two_lift,
+    xpander_quality,
+)
+
+
+class TestTwoLift:
+    def test_doubles_vertices_keeps_degree(self):
+        g = complete_graph(6)
+        signs = np.ones(g.num_edges, dtype=np.int64)
+        lifted = two_lift(g, signs)
+        assert lifted.n == 12
+        assert lifted.degree() == 5
+
+    def test_all_plus_gives_two_copies(self):
+        g = cycle_graph(5)
+        lifted = two_lift(g, np.ones(5, dtype=np.int64))
+        # Two disjoint C5 copies -> disconnected.
+        assert not is_connected(lifted)
+
+    def test_all_minus_on_odd_cycle_gives_double_cycle(self):
+        g = cycle_graph(5)
+        lifted = two_lift(g, -np.ones(5, dtype=np.int64))
+        # All-crossed lift of C5 = C10 (connected, bipartite double cover).
+        assert is_connected(lifted)
+        assert lifted.degree() == 2
+        from repro.graphs.metrics import girth
+
+        assert girth(lifted) == 10
+
+    def test_spectrum_is_union(self):
+        # eig(lift) = eig(base) UNION eig(signed adjacency).
+        g = complete_graph(5)
+        rng = np.random.default_rng(0)
+        signs = rng.choice(np.array([-1, 1]), size=g.num_edges)
+        lifted = two_lift(g, signs)
+        lift_spec = np.sort(np.linalg.eigvalsh(lifted.adjacency().toarray()))
+        base_spec = np.linalg.eigvalsh(g.adjacency().toarray())
+        import scipy.sparse as sp
+
+        edges = g.edge_array()
+        signed = np.zeros((5, 5))
+        for (u, v), s in zip(edges, signs):
+            signed[u, v] = signed[v, u] = s
+        signed_spec = np.linalg.eigvalsh(signed)
+        expect = np.sort(np.concatenate([base_spec, signed_spec]))
+        assert np.allclose(lift_spec, expect, atol=1e-8)
+
+    def test_sign_count_mismatch_rejected(self):
+        g = cycle_graph(4)
+        with pytest.raises(ParameterError):
+            two_lift(g, np.ones(3))
+
+
+class TestSignedLambda:
+    def test_matches_dense(self):
+        g = complete_graph(7)
+        rng = np.random.default_rng(1)
+        signs = rng.choice(np.array([-1, 1]), size=g.num_edges)
+        edges = g.edge_array()
+        dense = np.zeros((7, 7))
+        for (u, v), s in zip(edges, signs):
+            dense[u, v] = dense[v, u] = s
+        expect = max(abs(np.linalg.eigvalsh(dense)[0]),
+                     abs(np.linalg.eigvalsh(dense)[-1]))
+        assert signed_lambda(g, signs) == pytest.approx(expect, abs=1e-8)
+
+
+class TestBuildXpander:
+    def test_reaches_target_size(self):
+        t = build_xpander(degree=6, target_routers=100, seed=0)
+        assert t.n_routers >= 100
+        assert t.radix == 6
+        assert is_connected(t.graph)
+
+    def test_near_ramanujan(self):
+        # Best-of-16 random signings keeps lambda close to the bound
+        # (Bilu-Linial); allow 35% slack at this small scale.
+        t = build_xpander(degree=8, target_routers=144, seed=1)
+        assert lambda_g(t.graph) <= 1.35 * ramanujan_bound(8)
+
+    def test_quality_report(self):
+        t = build_xpander(degree=6, target_routers=56, seed=2)
+        q = xpander_quality(t)
+        assert q["routers"] == t.n_routers
+        assert q["ratio"] > 0
+
+    def test_deterministic(self):
+        a = build_xpander(degree=6, target_routers=56, seed=3)
+        b = build_xpander(degree=6, target_routers=56, seed=3)
+        assert np.array_equal(a.graph.edge_array(), b.graph.edge_array())
+
+    def test_rejects_small_degree(self):
+        with pytest.raises(ParameterError):
+            build_xpander(degree=2, target_routers=100)
+
+
+class TestXpanderVsLPS:
+    def test_lps_spectrally_at_least_as_good(self):
+        # The paper's Section II point: explicit LPS is Ramanujan; lifted
+        # constructions are *almost*-Ramanujan.  Compare matched instances.
+        from repro.topology import build_lps
+
+        lps = build_lps(11, 7)  # 168 routers, degree 12
+        xp = build_xpander(degree=12, target_routers=168, seed=0)
+        lam_lps = lambda_g(lps.graph) / ramanujan_bound(12)
+        lam_xp = lambda_g(xp.graph) / ramanujan_bound(12)
+        assert lam_lps <= 1.0 + 1e-9
+        assert lam_lps <= lam_xp + 0.05

@@ -1,0 +1,75 @@
+"""Tests for the shared utilities (rng, tables) and error types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConstructionError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+)
+from repro.utils.rng import as_rng, spawn_seeds
+from repro.utils.tables import render_table
+
+
+class TestRng:
+    def test_int_seed(self):
+        a, b = as_rng(42), as_rng(42)
+        assert a.integers(1000) == b.integers(1000)
+
+    def test_none_is_fixed(self):
+        assert as_rng(None).integers(1000) == as_rng(0).integers(1000)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_rng(g) is g
+
+    def test_spawn_seeds_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+        assert spawn_seeds(7, 5) != spawn_seeds(8, 5)
+        assert len(spawn_seeds(0, 12)) == 12
+
+    def test_spawn_seeds_distinct(self):
+        seeds = spawn_seeds(3, 50)
+        assert len(set(seeds)) == 50
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_column_order(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].split() == ["b", "a"]
+
+    def test_missing_cells(self):
+        text = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in text
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_float_formatting(self):
+        text = render_table([{"x": 0.123456, "y": 123456.0, "z": 0.0001}])
+        assert "0.123" in text
+        assert "1.23e+05" in text
+
+    def test_title(self):
+        text = render_table([{"a": 1}], title="T")
+        assert text.startswith("T\n")
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ParameterError, ReproError)
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(ConstructionError, RuntimeError)
+        assert issubclass(SimulationError, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ConstructionError("x")
