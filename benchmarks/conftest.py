@@ -27,3 +27,18 @@ def run_once(benchmark, fn, *args, **kwargs):
     """pedantic single-shot run: these are experiments, not microbenchmarks."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
                               iterations=1, warmup_rounds=0)
+
+
+def registry_driver(name: str, **overrides):
+    """Resolve a registered experiment to ``(driver, kwargs)`` at harness scale.
+
+    The benchmarks and the ``python -m repro`` CLI share one registry
+    (:mod:`repro.runner.registry`), so a figure's benchmark and its CLI
+    invocation always run the same driver with the same preset parameters;
+    ``overrides`` keeps benchmark-specific deviations explicit.
+    """
+    from repro.runner import get_experiment
+
+    exp = get_experiment(name)
+    preset = "full" if full_scale() else "small"
+    return exp.resolve(), exp.params(preset, overrides)

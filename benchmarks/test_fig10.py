@@ -1,11 +1,11 @@
 """Benchmark: regenerate Figure 10 (Ember motifs, UGAL routing)."""
 
-from benchmarks.conftest import run_once
-from repro.experiments import fig10
+from benchmarks.conftest import registry_driver, run_once
 
 
-def test_fig10_motifs_ugal(benchmark, scale):
-    result = run_once(benchmark, fig10.run, scale=scale)
+def test_fig10_motifs_ugal(benchmark):
+    run, params = registry_driver("fig10")
+    result = run_once(benchmark, run, **params)
     print()
     print(result.to_text())
     by = {(r["motif"], r["topology"]): r["speedup_vs_df"] for r in result.rows}

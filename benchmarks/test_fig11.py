@@ -1,18 +1,13 @@
 """Benchmark: regenerate Figure 11 (latency relative to SkyWalk)."""
 
-from benchmarks.conftest import full_scale, run_once
-from repro.experiments import fig11, table2
+from benchmarks.conftest import full_scale, registry_driver, run_once
 
 
 def test_fig11_latency_vs_skywalk(benchmark):
-    pairs = table2.TABLE2_PAIRS if full_scale() else table2.TABLE2_PAIRS[:2]
-    instances = 5 if full_scale() else 2
-    result = run_once(
-        benchmark,
-        fig11.run,
-        pairs=pairs,
-        skywalk_instances=instances,
+    run, params = registry_driver(
+        "fig11", skywalk_instances=5 if full_scale() else 2
     )
+    result = run_once(benchmark, run, **params)
     print()
     print(result.to_text())
 

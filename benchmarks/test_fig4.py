@@ -1,12 +1,12 @@
 """Benchmark: regenerate the four panels of Figure 4."""
 
-from benchmarks.conftest import full_scale, run_once
-from repro.experiments import fig4
+from benchmarks.conftest import registry_driver, run_once
 
 
 def test_fig4_design_space(benchmark):
     max_pq = 300  # the paper's exact sweep
-    result = run_once(benchmark, fig4.run_design_space, max_pq)
+    run, params = registry_driver("fig4.design_space", max_pq=max_pq)
+    result = run_once(benchmark, run, **params)
     print()
     print(f"{len(result.rows)} feasible LPS instances below p,q < {max_pq}")
     radii = {r["radix"] for r in result.rows}
@@ -14,10 +14,8 @@ def test_fig4_design_space(benchmark):
 
 
 def test_fig4_normalized_bisection(benchmark):
-    kw = dict(max_p=12, max_q=14, repeats=3)
-    if full_scale():
-        kw = dict(max_p=24, max_q=20, repeats=3)
-    result = run_once(benchmark, fig4.run_normalized_bisection, **kw)
+    run, params = registry_driver("fig4.normalized_bisection")
+    result = run_once(benchmark, run, **params)
     print()
     print(result.to_text())
     # Shape: larger radix -> larger normalized bisection (on average).
@@ -30,7 +28,8 @@ def test_fig4_normalized_bisection(benchmark):
 
 
 def test_fig4_feasible_sizes(benchmark):
-    result = run_once(benchmark, fig4.run_feasible_sizes, 10_000)
+    run, params = registry_driver("fig4.feasible_sizes", max_vertices=10_000)
+    result = run_once(benchmark, run, **params)
     print()
     counts: dict[str, dict[int, int]] = {}
     for r in result.rows:
@@ -48,9 +47,9 @@ def test_fig4_feasible_sizes(benchmark):
 
 
 def test_fig4_bisection_comparison(benchmark):
-    classes = (1, 2, 3) if full_scale() else (1, 2)
-    result = run_once(benchmark, fig4.run_bisection_comparison,
-                      classes=classes, repeats=3)
+    run, params = registry_driver("fig4.bisection_comparison")
+    classes = params["classes"]
+    result = run_once(benchmark, run, **params)
     print()
     print(result.to_text())
     # Shape: per class, LPS and SlimFly far above BundleFly and DragonFly;

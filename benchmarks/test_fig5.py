@@ -1,23 +1,14 @@
 """Benchmark: regenerate Figure 5 (structural resilience to link failures)."""
 
-from benchmarks.conftest import full_scale, run_once
-from repro.experiments import fig5
+from benchmarks.conftest import full_scale, registry_driver, run_once
 
 
 def test_fig5_link_failures(benchmark):
-    if full_scale():
-        kw = dict(
-            class_id=2,
-            proportions=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
-            max_trials_per_batch=10,
-        )
-    else:
-        kw = dict(
-            class_id=1,
-            proportions=(0.0, 0.1, 0.2, 0.3),
-            max_trials_per_batch=2,
-        )
-    result = run_once(benchmark, fig5.run, **kw)
+    overrides = (
+        {"proportions": (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)} if full_scale() else {}
+    )
+    run, kw = registry_driver("fig5", **overrides)
+    result = run_once(benchmark, run, **kw)
     print()
     print(result.to_text())
 

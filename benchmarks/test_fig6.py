@@ -1,18 +1,13 @@
 """Benchmark: regenerate Figure 6 (UGAL-L speedup vs DragonFly)."""
 
-from benchmarks.conftest import run_once
-from repro.experiments import fig6
+from benchmarks.conftest import registry_driver, run_once
 
 
-def test_fig6_ugal_speedups(benchmark, scale):
-    loads = (0.1, 0.3, 0.5, 0.7)
-    result = run_once(
-        benchmark,
-        fig6.run,
-        scale=scale,
-        loads=loads,
-        packets_per_rank=15,
+def test_fig6_ugal_speedups(benchmark):
+    run, params = registry_driver(
+        "fig6", loads=(0.1, 0.3, 0.5, 0.7), packets_per_rank=15
     )
+    result = run_once(benchmark, run, **params)
     print()
     print(result.to_text())
 

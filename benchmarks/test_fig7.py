@@ -1,17 +1,13 @@
 """Benchmark: regenerate Figure 7 (minimal routing, random traffic)."""
 
-from benchmarks.conftest import run_once
-from repro.experiments import fig7
+from benchmarks.conftest import registry_driver, run_once
 
 
-def test_fig7_minimal_random(benchmark, scale):
-    result = run_once(
-        benchmark,
-        fig7.run,
-        scale=scale,
-        loads=(0.1, 0.3, 0.5, 0.7),
-        packets_per_rank=15,
+def test_fig7_minimal_random(benchmark):
+    run, params = registry_driver(
+        "fig7", loads=(0.1, 0.3, 0.5, 0.7), packets_per_rank=15
     )
+    result = run_once(benchmark, run, **params)
     print()
     print(result.to_text())
     # Shape: under load, the three low-diameter topologies beat DragonFly.

@@ -1,17 +1,13 @@
 """Benchmark: regenerate Figure 8 (Valiant vs minimal on SpectralFly)."""
 
-from benchmarks.conftest import run_once
-from repro.experiments import fig8
+from benchmarks.conftest import registry_driver, run_once
 
 
-def test_fig8_valiant_vs_minimal(benchmark, scale):
-    result = run_once(
-        benchmark,
-        fig8.run,
-        scale=scale,
-        loads=(0.1, 0.3, 0.5, 0.7),
-        packets_per_rank=15,
+def test_fig8_valiant_vs_minimal(benchmark):
+    run, params = registry_driver(
+        "fig8", loads=(0.1, 0.3, 0.5, 0.7), packets_per_rank=15
     )
+    result = run_once(benchmark, run, **params)
     print()
     print(result.to_text())
     # Shape (paper): Valiant *hurts* random traffic — minimal paths on LPS

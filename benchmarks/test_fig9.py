@@ -1,11 +1,11 @@
 """Benchmark: regenerate Figure 9 (Ember motifs, minimal routing)."""
 
-from benchmarks.conftest import run_once
-from repro.experiments import fig9
+from benchmarks.conftest import registry_driver, run_once
 
 
-def test_fig9_motifs_minimal(benchmark, scale):
-    result = run_once(benchmark, fig9.run, scale=scale, routing="minimal")
+def test_fig9_motifs_minimal(benchmark):
+    run, params = registry_driver("fig9", routing="minimal")
+    result = run_once(benchmark, run, **params)
     print()
     print(result.to_text())
     by = {(r["motif"], r["topology"]): r["speedup_vs_df"] for r in result.rows}

@@ -1,12 +1,11 @@
 """Benchmark: regenerate Table I (basic structural properties)."""
 
-from benchmarks.conftest import full_scale, run_once
-from repro.experiments import table1
+from benchmarks.conftest import registry_driver, run_once
 
 
 def test_table1(benchmark):
-    classes = (1, 2, 3, 4, 5) if full_scale() else (1, 2, 3)
-    result = run_once(benchmark, table1.run, classes=classes)
+    run, params = registry_driver("table1")
+    result = run_once(benchmark, run, **params)
     print()
     print(result.to_text())
     # Paper-shape assertions: exact diameters and average distances.

@@ -1,15 +1,13 @@
 """Benchmark: regenerate Table II (wire length and energy efficiency)."""
 
-from benchmarks.conftest import full_scale, run_once
-from repro.experiments import table2
+from benchmarks.conftest import full_scale, registry_driver, run_once
 
 
 def test_table2_layout_cost(benchmark):
-    pairs = table2.TABLE2_PAIRS if full_scale() else table2.TABLE2_PAIRS[:2]
-    instances = 5 if full_scale() else 2
-    result = run_once(
-        benchmark, table2.run, pairs=pairs, skywalk_instances=instances
+    run, params = registry_driver(
+        "table2", skywalk_instances=5 if full_scale() else 2
     )
+    result = run_once(benchmark, run, **params)
     print()
     print(result.to_text())
 

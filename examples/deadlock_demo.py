@@ -10,11 +10,14 @@ workload completes.
 Run:  python examples/deadlock_demo.py
 """
 
-from repro.graphs.generators import cycle_graph
-from repro.routing import RoutingTables
-from repro.routing.algorithms import RoutingPolicy
-from repro.sim import NetworkSimulator, SimConfig
-from repro.topology.base import Topology
+from repro import (
+    NetworkSimulator,
+    RoutingPolicy,
+    RoutingTables,
+    SimConfig,
+    Topology,
+    cycle_graph,
+)
 
 
 class ClockwiseRouting(RoutingPolicy):

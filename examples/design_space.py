@@ -11,9 +11,14 @@ Run:  python examples/design_space.py [radix] [target_routers]
 
 import sys
 
-from repro import build_lps, lps_design_space, mu1, is_ramanujan
-from repro.spectral.bounds import lps_mu1_guarantee
-from repro.topology import feasible_sizes_per_radix
+from repro import (
+    build_lps,
+    feasible_sizes_per_radix,
+    is_ramanujan,
+    lps_design_space,
+    lps_mu1_guarantee,
+    mu1,
+)
 
 
 def main(target_radix: int = 12, target_routers: int = 2000):

@@ -10,16 +10,17 @@ Run:  python examples/layout_cost.py
 """
 
 from repro import (
+    MachineRoom,
     bisection_bandwidth,
     build_lps,
     build_skywalk,
     build_slimfly,
+    latency_statistics,
     layout_topology,
+    native_layout,
     power_report,
+    render_table,
 )
-from repro.layout import latency_statistics, native_layout
-from repro.layout.machine_room import MachineRoom
-from repro.utils.tables import render_table
 
 
 def main():

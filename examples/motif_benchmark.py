@@ -23,7 +23,7 @@ from repro import (
     make_routing,
     run_motif,
 )
-from repro.utils.tables import render_table
+from repro import render_table
 
 TOPOLOGIES = {
     "SpectralFly": (lambda: build_lps(11, 7), 4),

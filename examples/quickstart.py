@@ -28,7 +28,7 @@ from repro import (
     place_ranks,
     ramanujan_bound,
 )
-from repro.sim.traffic import OpenLoopSource
+from repro import OpenLoopSource
 
 
 def analyze(topo):

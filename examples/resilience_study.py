@@ -11,10 +11,16 @@ Run:  python examples/resilience_study.py
 
 import numpy as np
 
-from repro import bisection_bandwidth, build_lps, build_slimfly
-from repro.graphs.failures import delete_random_edges
-from repro.graphs.metrics import average_distance, diameter, is_connected
-from repro.utils.tables import render_table
+from repro import (
+    average_distance,
+    bisection_bandwidth,
+    build_lps,
+    build_slimfly,
+    delete_random_edges,
+    diameter,
+    is_connected,
+    render_table,
+)
 
 
 def measure(topo, proportions, trials=3, seed=0):

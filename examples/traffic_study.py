@@ -12,9 +12,8 @@ Run:  python examples/traffic_study.py [load]
 
 import sys
 
-from repro import build_lps
+from repro import build_lps, render_table
 from repro.experiments.common import run_synthetic_sim
-from repro.utils.tables import render_table
 
 PATTERNS = ("random", "shuffle", "reverse", "transpose")
 ROUTINGS = ("minimal", "valiant", "ugal")

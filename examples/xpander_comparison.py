@@ -20,8 +20,7 @@ from repro import (
     mu1,
     ramanujan_bound,
 )
-from repro.topology import build_xpander
-from repro.utils.tables import render_table
+from repro import build_xpander, render_table
 
 
 def main():

@@ -1,78 +1,32 @@
 #!/usr/bin/env python3
-"""Run every experiment driver and dump the tables to results/.
+"""Run every experiment and dump the tables to results/.
 
-Used to populate EXPERIMENTS.md.  Small-scale defaults; pass --full for the
-paper-scale configurations.
+Kept as a thin back-compat shim: the real driver is now the unified
+experiment CLI, ``python -m repro report`` (see ``repro.runner``), which
+adds result caching and ``--jobs N`` parallelism on top of what this
+script used to do.
+
+Usage::
+
+    python scripts/collect_results.py [--full] [--jobs N] [-o DIR]
+
+is equivalent to::
+
+    python -m repro report [--full] [--jobs N] [-o DIR]
 """
 
 from __future__ import annotations
 
 import pathlib
 import sys
-import time
 
-from repro.experiments import (
-    contention,
-    fig3,
-    fig4,
-    fig5,
-    fig6,
-    fig7,
-    fig8,
-    fig9,
-    fig10,
-    fig11,
-    saturation,
-    survey,
-    table1,
-    table2,
-)
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-OUT = pathlib.Path(__file__).resolve().parent.parent / "results"
-
-
-def main(full: bool = False) -> None:
-    OUT.mkdir(exist_ok=True)
-    jobs = {
-        "table1": lambda: table1.run(classes=(1, 2, 3, 4, 5) if full else (1, 2, 3)),
-        "fig3": lambda: fig3.run(),
-        "fig4_design_space": lambda: fig4.run_design_space(300),
-        "fig4_normalized_bisection": lambda: fig4.run_normalized_bisection(
-            max_p=12, max_q=14
-        ),
-        "fig4_bisection_comparison": lambda: fig4.run_bisection_comparison(
-            classes=(1, 2, 3) if full else (1, 2)
-        ),
-        "fig5": lambda: fig5.run(
-            class_id=2 if full else 1,
-            proportions=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5) if full else (0.0, 0.1, 0.2, 0.3),
-            max_trials_per_batch=10 if full else 2,
-        ),
-        "fig6": lambda: fig6.run(loads=(0.1, 0.3, 0.5, 0.7), packets_per_rank=15),
-        "fig7": lambda: fig7.run(loads=(0.1, 0.3, 0.5, 0.7), packets_per_rank=15),
-        "fig8": lambda: fig8.run(loads=(0.1, 0.3, 0.5, 0.7), packets_per_rank=15),
-        "fig9": lambda: fig9.run(),
-        "fig10": lambda: fig10.run(),
-        "table2": lambda: table2.run(pairs=table2.TABLE2_PAIRS,
-                                     skywalk_instances=3),
-        "fig11": lambda: fig11.run(pairs=table2.TABLE2_PAIRS,
-                                   skywalk_instances=3),
-        "survey": lambda: survey.run(),
-        "saturation": lambda: saturation.run(),
-        "contention": lambda: contention.run(),
-    }
-    for name, job in jobs.items():
-        t0 = time.time()
-        try:
-            result = job()
-        except Exception as exc:  # keep collecting the rest
-            (OUT / f"{name}.txt").write_text(f"FAILED: {exc}\n")
-            print(f"{name}: FAILED ({exc})")
-            continue
-        text = result.to_text()
-        (OUT / f"{name}.txt").write_text(text + "\n")
-        print(f"{name}: done in {time.time() - t0:.1f}s")
-
+from repro.runner.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    main(full="--full" in sys.argv)
+    argv = sys.argv[1:]
+    default_out = pathlib.Path(__file__).resolve().parent.parent / "results"
+    if "-o" not in argv and "--out" not in argv:
+        argv += ["--out", str(default_out)]
+    sys.exit(main(["report"] + argv))

@@ -22,9 +22,14 @@ Layout / cost
     :func:`layout_topology`, :func:`power_report`, :func:`latency_sweep`.
 
 Experiments reproducing each paper table/figure live under
-``repro.experiments`` (also runnable as ``python -m repro.experiments.table1``
-etc.); see DESIGN.md for the experiment index and EXPERIMENTS.md for
-paper-vs-measured results.
+``repro.experiments`` and run through the unified CLI::
+
+    python -m repro list
+    python -m repro run fig6 --jobs 8
+
+(:mod:`repro.runner` holds the registry, the parallel executor, and the
+result cache; docs/reproducing.md maps every paper artifact to its
+command.)
 """
 
 from repro.topology import (
@@ -34,8 +39,11 @@ from repro.topology import (
     build_bundlefly,
     build_canonical_dragonfly,
     build_dragonfly,
+    build_paley,
     build_skywalk,
     build_jellyfish,
+    build_xpander,
+    feasible_sizes_per_radix,
     lps_design_space,
     lps_feasible,
     lps_num_vertices,
@@ -43,6 +51,8 @@ from repro.topology import (
 from repro.graphs import (
     CSRGraph,
     average_distance,
+    cycle_graph,
+    delete_random_edges,
     diameter,
     girth,
     is_bipartite,
@@ -51,13 +61,15 @@ from repro.graphs import (
 from repro.spectral import (
     is_ramanujan,
     lambda_g,
+    lps_mu1_guarantee,
     mu1,
     ramanujan_bound,
     spectral_gap,
 )
 from repro.partition import bisection_bandwidth
-from repro.routing import RoutingTables, make_routing
+from repro.routing import RoutingPolicy, RoutingTables, make_routing
 from repro.sim import NetworkSimulator, SimConfig, make_traffic, place_ranks
+from repro.sim.traffic import OpenLoopSource
 from repro.workloads import (
     FFTMotif,
     Halo3D26Motif,
@@ -65,10 +77,14 @@ from repro.workloads import (
     run_motif,
 )
 from repro.layout import (
+    MachineRoom,
+    latency_statistics,
     latency_sweep,
     layout_topology,
+    native_layout,
     power_report,
 )
+from repro.utils.tables import render_table
 
 __version__ = "1.0.0"
 
@@ -79,12 +95,17 @@ __all__ = [
     "build_bundlefly",
     "build_canonical_dragonfly",
     "build_dragonfly",
+    "build_paley",
     "build_skywalk",
     "build_jellyfish",
+    "build_xpander",
+    "feasible_sizes_per_radix",
     "lps_design_space",
     "lps_feasible",
     "lps_num_vertices",
     "CSRGraph",
+    "cycle_graph",
+    "delete_random_edges",
     "diameter",
     "average_distance",
     "girth",
@@ -92,22 +113,29 @@ __all__ = [
     "is_bipartite",
     "is_ramanujan",
     "lambda_g",
+    "lps_mu1_guarantee",
     "mu1",
     "spectral_gap",
     "ramanujan_bound",
     "bisection_bandwidth",
+    "RoutingPolicy",
     "RoutingTables",
     "make_routing",
     "NetworkSimulator",
     "SimConfig",
+    "OpenLoopSource",
     "make_traffic",
     "place_ranks",
     "Halo3D26Motif",
     "Sweep3DMotif",
     "FFTMotif",
     "run_motif",
+    "MachineRoom",
+    "latency_statistics",
     "layout_topology",
+    "native_layout",
     "power_report",
     "latency_sweep",
+    "render_table",
     "__version__",
 ]

@@ -35,21 +35,42 @@ class ExperimentResult:
 
 # ---------------------------------------------------------------------------
 # Topology construction caching (experiments share instances heavily).
+#
+# Two tiers: an in-process dict (every call site), and — for deterministic
+# constructions — the content-addressed disk cache shared with the runner,
+# so repeated CLI invocations and parallel worker processes skip the group
+# closures and graph builds entirely.
 _TOPO_CACHE: dict[tuple, Any] = {}
 
 
-def cached(key: tuple, builder: Callable[[], Any]) -> Any:
-    """Memoise expensive constructions across experiments in one process."""
+def cached(key: tuple, builder: Callable[[], Any], disk: bool = False) -> Any:
+    """Memoise expensive constructions across experiments.
+
+    ``disk=True`` additionally persists the value in the process-wide
+    :class:`~repro.utils.diskcache.DiskCache`; only pass it for builders
+    that are deterministic functions of ``key``.
+    """
     if key not in _TOPO_CACHE:
-        _TOPO_CACHE[key] = builder()
+        if disk:
+            from repro.utils.diskcache import get_default_cache
+
+            _TOPO_CACHE[key] = get_default_cache().memoize(
+                ("experiments.cached",) + key, builder
+            )
+        else:
+            _TOPO_CACHE[key] = builder()
     return _TOPO_CACHE[key]
 
 
 def cached_size_class(class_id: int) -> dict[str, Topology]:
-    return cached(("size-class", class_id), lambda: build_size_class(class_id))
+    return cached(
+        ("size-class", class_id), lambda: build_size_class(class_id), disk=True
+    )
 
 
 def cached_tables(topo: Topology) -> RoutingTables:
+    # RoutingTables itself disk-caches its distance matrix (the expensive
+    # part) keyed by the graph hash, so the in-process tier suffices here.
     return cached(("tables", topo.name), lambda: RoutingTables(topo.graph))
 
 

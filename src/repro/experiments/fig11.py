@@ -30,8 +30,8 @@ def run(
         pairs = TABLE2_PAIRS[:2]
     rows = []
     for (p, q), sf_q in pairs:
-        lps = cached(("LPS", p, q), lambda p=p, q=q: build_lps(p, q))
-        sf = cached(("SF", sf_q), lambda sf_q=sf_q: build_slimfly(sf_q))
+        lps = cached(("LPS", p, q), lambda p=p, q=q: build_lps(p, q), disk=True)
+        sf = cached(("SF", sf_q), lambda sf_q=sf_q: build_slimfly(sf_q), disk=True)
         for topo in (lps, sf):
             layout = layout_topology(topo, seed=seed)
             room = MachineRoom(topo.n_routers)

@@ -44,7 +44,7 @@ def run_normalized_bisection(
     rows = []
     for spec in lps_design_space(max_p, max_q):
         p, q = spec["p"], spec["q"]
-        topo = cached(("LPS", p, q), lambda p=p, q=q: build_lps(p, q))
+        topo = cached(("LPS", p, q), lambda p=p, q=q: build_lps(p, q), disk=True)
         g = topo.graph
         cut = bisection_bandwidth(g, repeats=repeats)
         norm = cut / (g.n * topo.radix / 2.0)

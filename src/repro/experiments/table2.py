@@ -41,8 +41,8 @@ def run(
     rows = []
     for (p, q), sf_q in pairs:
         for topo in (
-            cached(("LPS", p, q), lambda p=p, q=q: build_lps(p, q)),
-            cached(("SF", sf_q), lambda sf_q=sf_q: build_slimfly(sf_q)),
+            cached(("LPS", p, q), lambda p=p, q=q: build_lps(p, q), disk=True),
+            cached(("SF", sf_q), lambda sf_q=sf_q: build_slimfly(sf_q), disk=True),
         ):
             layout = layout_topology(topo, seed=seed)
             cut = bisection_bandwidth(topo.graph, repeats=bisection_repeats,

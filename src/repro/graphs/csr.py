@@ -7,6 +7,8 @@ batched BFS, the partitioner, and the simulator's routing tables consume.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -100,6 +102,19 @@ class CSRGraph:
         tails = self.indices.astype(np.int64)
         mask = heads < tails
         return np.stack([heads[mask], tails[mask]], axis=1)
+
+    def content_hash(self) -> str:
+        """SHA-256 over the CSR arrays — a stable identity for this graph.
+
+        Two graphs hash equal iff they have identical vertex numbering and
+        edge sets, which is what the on-disk caches of derived artifacts
+        (BFS distance matrices, routing tables) key on.
+        """
+        h = hashlib.sha256()
+        h.update(str(self.n).encode())
+        h.update(np.ascontiguousarray(self.indptr, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(self.indices, dtype=np.int32).tobytes())
+        return h.hexdigest()
 
     def has_edge(self, u: int, v: int) -> bool:
         """Membership test via binary search on the sorted neighbour row."""

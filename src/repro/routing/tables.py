@@ -9,6 +9,12 @@ topology) answers every routing question the simulator asks:
 * path lengths for UGAL's minimal-vs-Valiant comparison.
 
 Queries are numpy slices over the CSR row — no per-packet Python search.
+
+The ``n x n`` matrix is the single most expensive intermediate the
+simulations share, so it is transparently memoised in the content-addressed
+disk cache (:mod:`repro.utils.diskcache`) keyed by the graph's CSR hash:
+every simulator run, benchmark, and CLI invocation over the same topology
+reuses one BFS.  Set ``REPRO_CACHE=0`` to disable.
 """
 
 from __future__ import annotations
@@ -17,14 +23,21 @@ import numpy as np
 
 from repro.graphs.bfs import distance_matrix
 from repro.graphs.csr import CSRGraph
+from repro.utils.diskcache import get_default_cache
 
 
 class RoutingTables:
     """Hop-distance oracle for one router graph."""
 
-    def __init__(self, graph: CSRGraph) -> None:
+    def __init__(self, graph: CSRGraph, use_cache: bool = True) -> None:
         self.graph = graph
-        self.dist = distance_matrix(graph).astype(np.int16)
+        if use_cache:
+            key = ("distance-matrix", graph.content_hash())
+            self.dist = get_default_cache().memoize(
+                key, lambda: distance_matrix(graph).astype(np.int16)
+            )
+        else:
+            self.dist = distance_matrix(graph).astype(np.int16)
         if np.any(self.dist < 0):
             raise ValueError("router graph is disconnected")
         self.diameter = int(self.dist.max())

@@ -1,0 +1,350 @@
+"""``python -m repro`` — the unified experiment command line.
+
+Subcommands
+-----------
+
+``list``
+    Show every registered experiment (name, title, cells, expected runtime).
+``run``
+    Run one or more experiments (or ``all``) at the small or full preset,
+    with ``--jobs N`` parallelism, ``--set key=value`` overrides, and
+    transparent result caching (``--force`` recomputes, ``--no-cache``
+    bypasses the cache entirely).
+``sweep``
+    Cross-product parameter sweeps over one experiment: every ``--set``
+    with a comma-separated value list becomes a sweep axis, ``--seeds``
+    sweeps the seed.  Cells shared between sweep points are computed once.
+``report``
+    Run every experiment and write the tables + an index to a results
+    directory (the successor of ``scripts/collect_results.py``).
+``cache``
+    Inspect or clear the on-disk result/artifact cache.
+
+Examples
+--------
+
+::
+
+    python -m repro list
+    python -m repro run fig4 --small
+    python -m repro run fig6 fig8 --jobs 8
+    python -m repro run fig6 --set loads=0.1,0.2 --set routing=minimal
+    python -m repro sweep fig7 --seeds 0,1,2 --jobs 4
+    python -m repro report -o results
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import itertools
+import pathlib
+import sys
+import time
+from typing import Any
+
+from repro.runner.executor import run_experiment
+from repro.runner.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.utils.diskcache import configure_cache, default_cache_dir, get_default_cache
+from repro.utils.tables import render_table
+
+
+# ---------------------------------------------------------------------------
+def _parse_value(text: str) -> Any:
+    """Parse a ``--set`` value: python literal, comma list, or bare string."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        pass
+    if "," in text:
+        return tuple(_parse_value(part) for part in text.split(",") if part != "")
+    return text
+
+
+def _parse_sets(pairs: list[str]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        out[key.strip()] = _parse_value(value)
+    return out
+
+
+def _select_cache(args: argparse.Namespace):
+    if getattr(args, "no_cache", False):
+        return configure_cache(default_cache_dir(), enabled=False)
+    if getattr(args, "cache_dir", None):
+        return configure_cache(args.cache_dir, enabled=True)
+    return get_default_cache()
+
+
+def _resolve_names(names: list[str]) -> list[str]:
+    if names == ["all"]:
+        return [d.name for d in list_experiments(include_composite=False)]
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}\navailable: "
+                + ", ".join(sorted(EXPERIMENTS))
+            )
+    return names
+
+
+def _emit(report, args, out_dir: pathlib.Path | None) -> None:
+    if not args.quiet:
+        print(report.result.to_text())
+        print()
+    print(report.summary_line())
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        safe = report.name.replace("/", "_")
+        (out_dir / f"{safe}.txt").write_text(report.result.to_text() + "\n")
+
+
+# ---------------------------------------------------------------------------
+def cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for d in list_experiments(tag=args.tag):
+        row = {
+            "name": d.name,
+            "kind": "composite" if d.is_composite else "experiment",
+            "cells": "-" if d.is_composite else len(d.cells(d.spec("small"))),
+            "runtime (small)": d.runtime or "?",
+            "tags": ",".join(d.tags),
+            "title": d.title,
+        }
+        rows.append(row)
+    print(render_table(rows, title="registered experiments"))
+    if args.verbose:
+        print()
+        for d in list_experiments(tag=args.tag, include_composite=False):
+            print(f"{d.name}: {d.fn}")
+            for preset, params in d.presets.items():
+                print(f"  {preset}: {params}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cache = _select_cache(args)
+    overrides = _parse_sets(args.set)
+    preset = "full" if args.full else "small"
+    out_dir = pathlib.Path(args.out) if args.out else None
+    progress = None if args.quiet else print
+    t0 = time.time()
+    for name in _resolve_names(args.experiments):
+        for report in run_experiment(
+            name,
+            preset=preset,
+            overrides=overrides,
+            jobs=args.jobs,
+            cache=cache,
+            force=args.force,
+            progress=progress,
+        ):
+            _emit(report, args, out_dir)
+    stats = cache.stats()
+    print(
+        f"total {time.time() - t0:.1f}s — cache: {stats['session_hits']} hits, "
+        f"{stats['session_misses']} misses ({stats['root']})"
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    cache = _select_cache(args)
+    if args.experiment == "all":
+        raise SystemExit("sweep takes one experiment name, not `all`")
+    exp = get_experiment(_resolve_names([args.experiment])[0])
+    preset = "full" if args.full else "small"
+    out_dir = pathlib.Path(args.out) if args.out else None
+
+    sets = _parse_sets(args.set)
+    axes: dict[str, tuple] = {}
+    fixed: dict[str, Any] = {}
+    for key, value in sets.items():
+        if isinstance(value, tuple):
+            axes[key] = value
+        else:
+            fixed[key] = value
+    if args.seeds:
+        axes["seed"] = _parse_value(args.seeds)
+        if not isinstance(axes["seed"], tuple):
+            axes["seed"] = (axes["seed"],)
+    if not axes:
+        raise SystemExit(
+            "sweep needs at least one multi-valued axis "
+            "(--set key=v1,v2,... or --seeds 0,1,2)"
+        )
+
+    names = sorted(axes)
+    summary = []
+    t0 = time.time()
+    for combo in itertools.product(*(axes[k] for k in names)):
+        overrides = dict(fixed)
+        overrides.update(dict(zip(names, combo)))
+        label = ",".join(f"{k}={v}" for k, v in zip(names, combo))
+        print(f"== {exp.name} [{label}]")
+        for report in run_experiment(
+            exp,
+            preset=preset,
+            overrides=overrides,
+            jobs=args.jobs,
+            cache=cache,
+            force=args.force,
+            progress=None if args.quiet else print,
+        ):
+            if out_dir is not None:
+                out_dir.mkdir(parents=True, exist_ok=True)
+                safe = f"{report.name}__{label}".replace("/", "_").replace(" ", "")
+                (out_dir / f"{safe}.txt").write_text(report.result.to_text() + "\n")
+            summary.append(
+                {
+                    "point": label,
+                    "experiment": report.name,
+                    "rows": len(report.result.rows),
+                    "seconds": round(report.seconds, 2),
+                    "cached": "full"
+                    if report.from_cache
+                    else f"{report.n_cached_cells}/{report.n_cells} cells",
+                }
+            )
+    print(render_table(summary, title=f"sweep of {exp.name} ({len(summary)} points)"))
+    print(f"total {time.time() - t0:.1f}s")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    cache = _select_cache(args)
+    preset = "full" if args.full else "small"
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    index = []
+    t0 = time.time()
+    for d in list_experiments(tag=args.tag, include_composite=False):
+        print(f"== {d.name}")
+        try:
+            reports = run_experiment(
+                d, preset=preset, jobs=args.jobs, cache=cache, force=args.force
+            )
+        except Exception as exc:  # keep collecting the rest
+            (out_dir / f"{d.name}.txt").write_text(f"FAILED: {exc}\n")
+            index.append({"experiment": d.name, "status": f"FAILED: {exc}", "seconds": "-"})
+            print(f"   FAILED: {exc}")
+            continue
+        for report in reports:
+            safe = report.name.replace("/", "_")
+            (out_dir / f"{safe}.txt").write_text(report.result.to_text() + "\n")
+            index.append(
+                {
+                    "experiment": report.name,
+                    "status": "cached" if report.from_cache else "ok",
+                    "seconds": round(report.seconds, 2),
+                }
+            )
+            print(f"   {report.summary_line()}")
+    lines = [
+        f"# Experiment report ({preset} preset)",
+        "",
+        "| experiment | status | seconds |",
+        "|---|---|---|",
+    ]
+    for row in index:
+        lines.append(f"| {row['experiment']} | {row['status']} | {row['seconds']} |")
+    (out_dir / "INDEX.md").write_text("\n".join(lines) + "\n")
+    print(f"\nwrote {len(index)} tables to {out_dir}/ in {time.time() - t0:.1f}s")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = _select_cache(args)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached entries from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(render_table([stats], title="repro cache"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def _add_common_run_args(p: argparse.ArgumentParser) -> None:
+    scale = p.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--small", action="store_true", help="laptop-scale preset (default)"
+    )
+    scale.add_argument(
+        "--full", action="store_true", help="paper-scale preset (slow)"
+    )
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="worker processes for independent cells (default 1)")
+    p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                   help="override an experiment parameter (repeatable)")
+    p.add_argument("--force", action="store_true",
+                   help="recompute even if a cached result exists")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk cache entirely")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help=f"cache root (default {default_cache_dir()})")
+    p.add_argument("--quiet", "-q", action="store_true",
+                   help="suppress result tables and per-cell progress")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SpectralFly reproduction: unified experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="list registered experiments")
+    p.add_argument("--tag", help="only experiments with this tag")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="also print driver paths and preset parameters")
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("run", help="run experiments (cached, parallel)")
+    p.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                   help="registry names (see `list`), or `all`")
+    _add_common_run_args(p)
+    p.add_argument("--out", "-o", metavar="DIR",
+                   help="also write each result table to DIR/<name>.txt")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="cross-product parameter sweep")
+    p.add_argument("experiment", metavar="EXPERIMENT")
+    _add_common_run_args(p)
+    p.add_argument("--seeds", metavar="S1,S2,...",
+                   help="sweep the seed parameter over these values")
+    p.add_argument("--out", "-o", metavar="DIR",
+                   help="write each sweep point's table to DIR")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("report", help="run everything, write a results directory")
+    p.add_argument("--out", "-o", default="results", metavar="DIR",
+                   help="output directory (default: results)")
+    p.add_argument("--tag", help="only experiments with this tag")
+    _add_common_run_args(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    p.add_argument("--clear", action="store_true", help="delete all entries")
+    p.add_argument("--no-cache", action="store_true", help=argparse.SUPPRESS)
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help=f"cache root (default {default_cache_dir()})")
+    p.set_defaults(func=cmd_cache)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Cell-parallel, cache-aware execution of experiment specs.
+
+``run_experiment`` is the one entry point: it resolves a registry name (or
+:class:`ExperimentDef`) into fully-parameterized specs, serves previously
+computed results straight from the content-addressed disk cache, splits
+cache misses into independent cells along the experiment's declared axes,
+fans the cells across a process pool, and writes every cell *and* the
+merged result back to the cache.  Overlapping sweeps therefore only pay for
+the cells they have not seen before.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable
+
+from repro.experiments.common import ExperimentResult
+from repro.runner.registry import ExperimentDef, get_experiment
+from repro.runner.spec import CellOutcome, ExperimentSpec, RunReport
+from repro.utils.diskcache import DiskCache, configure_cache, get_default_cache
+
+_RESULT_KEY = "experiment-result"
+
+Progress = Callable[[str], None] | None
+
+
+def _result_key(spec: ExperimentSpec) -> tuple[str, str]:
+    return (_RESULT_KEY, spec.spec_hash())
+
+
+# ---------------------------------------------------------------------------
+# Worker-side entry points (must be importable, hence module top level).
+def _worker_init(cache_root: str, cache_enabled: bool, extra_path: list[str]) -> None:
+    for p in reversed(extra_path):
+        if p not in sys.path:
+            sys.path.insert(0, p)
+    configure_cache(cache_root, enabled=cache_enabled)
+
+
+def _execute_payload(payload: tuple[str, str, tuple]) -> tuple[ExperimentResult, float]:
+    """Run one cell in a worker process; returns (result, seconds)."""
+    name, fn, params = payload
+    spec = ExperimentSpec(name=name, fn=fn, params=params)
+    t0 = time.perf_counter()
+    result = spec.execute()
+    return result, time.perf_counter() - t0
+
+
+# ---------------------------------------------------------------------------
+def _merge_cells(spec: ExperimentSpec, results: list[ExperimentResult]) -> ExperimentResult:
+    """Concatenate cell rows back into one result (deterministic order)."""
+    if len(results) == 1:
+        merged = results[0]
+        return ExperimentResult(
+            experiment=merged.experiment,
+            rows=list(merged.rows),
+            notes=merged.notes,
+            columns=merged.columns,
+        )
+    rows: list[dict[str, Any]] = []
+    for res in results:
+        rows.extend(res.rows)
+    first = results[0]
+    return ExperimentResult(
+        experiment=first.experiment,
+        rows=rows,
+        notes=first.notes,
+        columns=first.columns,
+    )
+
+
+def _run_cells(
+    cells: list[ExperimentSpec],
+    jobs: int,
+    cache: DiskCache,
+    force: bool,
+    progress: Progress,
+) -> tuple[list[ExperimentResult], list[CellOutcome]]:
+    """Execute the cell list, serving cached cells and pooling the misses."""
+    results: list[ExperimentResult | None] = [None] * len(cells)
+    outcomes: list[CellOutcome | None] = [None] * len(cells)
+    misses: list[int] = []
+    for i, cell in enumerate(cells):
+        hit = None if force else cache.get(_result_key(cell))
+        if hit is not None:
+            results[i] = hit
+            outcomes[i] = CellOutcome(cell, from_cache=True, seconds=0.0)
+            if progress:
+                progress(f"  [{i + 1}/{len(cells)}] {cell.name}: cached")
+        else:
+            misses.append(i)
+
+    def record(i: int, result: ExperimentResult, seconds: float) -> None:
+        cache.put(_result_key(cells[i]), result)
+        results[i] = result
+        outcomes[i] = CellOutcome(cells[i], from_cache=False, seconds=seconds)
+        if progress:
+            progress(f"  [{i + 1}/{len(cells)}] {cells[i].name}: {seconds:.1f}s")
+
+    if misses and jobs > 1:
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(misses)),
+            initializer=_worker_init,
+            initargs=(str(cache.root), cache.enabled, [src_root]),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _execute_payload, (cells[i].name, cells[i].fn, cells[i].params)
+                ): i
+                for i in misses
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    result, seconds = fut.result()
+                    record(futures[fut], result, seconds)
+    else:
+        for i in misses:
+            t0 = time.perf_counter()
+            result = cells[i].execute()
+            record(i, result, time.perf_counter() - t0)
+
+    return list(results), list(outcomes)  # type: ignore[arg-type]
+
+
+def _run_single(
+    exp: ExperimentDef,
+    spec: ExperimentSpec,
+    jobs: int,
+    cache: DiskCache,
+    force: bool,
+    progress: Progress,
+) -> RunReport:
+    t0 = time.perf_counter()
+    if not force:
+        hit = cache.get(_result_key(spec))
+        if hit is not None:
+            return RunReport(
+                name=spec.name,
+                result=hit,
+                seconds=time.perf_counter() - t0,
+                from_cache=True,
+            )
+    cells = exp.cells(spec)
+    cell_results, outcomes = _run_cells(cells, jobs, cache, force, progress)
+    merged = _merge_cells(spec, cell_results)
+    if len(cells) > 1:
+        # Unsplit specs share their spec hash with their single cell, which
+        # _run_cells already stored — don't write the same pickle twice.
+        cache.put(_result_key(spec), merged)
+    return RunReport(
+        name=spec.name,
+        result=merged,
+        seconds=time.perf_counter() - t0,
+        cells=outcomes,
+    )
+
+
+def run_experiment(
+    experiment: str | ExperimentDef,
+    preset: str = "small",
+    overrides: dict[str, Any] | None = None,
+    jobs: int = 1,
+    cache: DiskCache | None = None,
+    force: bool = False,
+    progress: Progress = None,
+) -> list[RunReport]:
+    """Run one registered experiment (or composite) and return its reports.
+
+    Parameters
+    ----------
+    experiment:
+        Registry name (``"fig6"``) or an :class:`ExperimentDef`.
+    preset:
+        ``"small"`` (laptop-scale defaults) or ``"full"`` (paper-scale).
+    overrides:
+        Parameter overrides applied on top of the preset (CLI ``--set``).
+    jobs:
+        Worker processes for independent cells; 1 runs everything inline.
+    cache:
+        Result cache; defaults to the process-wide disk cache.
+    force:
+        Recompute even when cached results exist (results are re-stored).
+    progress:
+        Optional callable receiving one human-readable line per cell.
+
+    Returns one :class:`RunReport` per driver — a single report for plain
+    experiments, one per part for composites like ``fig4``.
+    """
+    exp = get_experiment(experiment) if isinstance(experiment, str) else experiment
+    cache = cache if cache is not None else get_default_cache()
+    if exp.is_composite:
+        import inspect
+
+        reports = []
+        for part_name in exp.parts:
+            part = get_experiment(part_name)
+            # Parts have different signatures; forward only the overrides
+            # each driver actually accepts.
+            accepted = set(inspect.signature(part.resolve()).parameters)
+            part_overrides = {
+                k: v for k, v in (overrides or {}).items() if k in accepted
+            }
+            spec = part.spec(preset, part_overrides)
+            reports.append(_run_single(part, spec, jobs, cache, force, progress))
+        return reports
+    spec = exp.spec(preset, overrides)
+    return [_run_single(exp, spec, jobs, cache, force, progress)]

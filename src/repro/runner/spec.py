@@ -1,0 +1,117 @@
+"""Experiment specs: the declarative unit the runner executes and caches.
+
+An :class:`ExperimentSpec` is a fully-resolved, hashable description of one
+experiment invocation — the dotted path of the driver function plus the
+exact keyword arguments.  Everything the runner does (cell splitting,
+parallel dispatch, result caching) operates on specs, never on ad-hoc
+function calls, so two invocations that would compute the same thing always
+share one cache entry.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.utils.diskcache import stable_hash
+
+#: Bump when experiment semantics change in a way that should invalidate
+#: previously cached results (the disk cache also versions itself; this one
+#: scopes to result entries specifically).
+SPEC_VERSION = 1
+
+
+def resolve_callable(dotted: str) -> Callable[..., Any]:
+    """Resolve ``"package.module:function"`` to the callable itself."""
+    module_name, _, attr = dotted.partition(":")
+    if not attr:
+        raise ValueError(f"expected 'module:callable', got {dotted!r}")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(f"{module_name} has no callable {attr!r}") from exc
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-parameterized experiment invocation.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"fig6"``) or cell-qualified name
+        (``"fig6[patterns=shuffle,loads=0.3]"``).
+    fn:
+        Dotted path of the driver, e.g. ``"repro.experiments.fig6:run"``.
+    params:
+        Exact keyword arguments passed to the driver.  Stored as a sorted
+        tuple of pairs so the spec itself is hashable and order-insensitive.
+    """
+
+    name: str
+    fn: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, fn: str, params: dict[str, Any]) -> "ExperimentSpec":
+        return cls(name=name, fn=fn, params=tuple(sorted(params.items())))
+
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def spec_hash(self) -> str:
+        """Content hash identifying this spec's result in the cache.
+
+        Deliberately excludes ``name``: a cell of a sweep and a directly
+        requested run with identical fn+params share one cache entry.
+        """
+        return stable_hash(
+            {"v": SPEC_VERSION, "fn": self.fn, "params": self.params}
+        )
+
+    def execute(self) -> Any:
+        """Run the driver in-process and return its ExperimentResult."""
+        return resolve_callable(self.fn)(**self.kwargs)
+
+    def describe(self) -> str:
+        kv = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.name}: {self.fn}({kv})"
+
+
+@dataclass
+class CellOutcome:
+    """Bookkeeping for one executed (or cache-served) cell."""
+
+    spec: ExperimentSpec
+    from_cache: bool
+    seconds: float
+
+
+@dataclass
+class RunReport:
+    """What ``run_experiment`` did: the result plus cache/parallelism facts."""
+
+    name: str
+    result: Any  # ExperimentResult
+    seconds: float
+    cells: list[CellOutcome] = field(default_factory=list)
+    from_cache: bool = False  # the merged result itself was served from cache
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_cached_cells(self) -> int:
+        return sum(1 for c in self.cells if c.from_cache)
+
+    def summary_line(self) -> str:
+        if self.from_cache:
+            return f"{self.name}: cached ({self.seconds:.2f}s)"
+        return (
+            f"{self.name}: done in {self.seconds:.1f}s "
+            f"({self.n_cells} cells, {self.n_cached_cells} from cache)"
+        )

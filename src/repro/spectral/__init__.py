@@ -13,6 +13,7 @@ from repro.spectral.bounds import (
     bisection_lower_bound,
     cheeger_bounds,
     expander_mixing_bound,
+    lps_mu1_guarantee,
     normalized_bisection_lower_bound,
     ramanujan_bound,
     tanner_vertex_expansion_bound,
@@ -34,6 +35,7 @@ __all__ = [
     "ramanujan_bound",
     "alon_boppana_bound",
     "cheeger_bounds",
+    "lps_mu1_guarantee",
     "tanner_vertex_expansion_bound",
     "expander_mixing_bound",
     "bisection_lower_bound",

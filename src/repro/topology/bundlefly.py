@@ -14,6 +14,11 @@ bundle-Paley-bundle) require ``j - alpha^2 i`` or ``(j - alpha^2 i)/alpha``
 to be a square — and exactly one of them always is when ``alpha`` is a
 non-residue.  Identity matchings would give diameter 4 (and a visibly
 larger average distance than the paper's Table I).
+
+Paper: Sections II and IV — BundleFly is the multicore-fibre competitor in
+Table I and Figs. 4-10.  Constraints: ``p`` a prime power with ``p = 1
+(mod 4)`` (Paley side), ``s`` an MMS parameter (``s % 4 != 2``, prime
+power); ``2 p s^2`` routers of radix ``(p-1)/2 + (3s - delta)/2``.
 """
 
 from __future__ import annotations

@@ -11,6 +11,11 @@ router ``h`` global links and distributes each group's ``a*h`` global links
 over the other ``g - 1`` groups.  Both variants support the *absolute* and
 *circulant* global link arrangements of Hastings et al. [36]; the paper uses
 circulant for its better bisection bandwidth.
+
+Paper: Section IV (Table I baseline) and Section VI (the a=16, h=8, g=69
+simulation instance).  Constraints: canonical DF(a) has ``a (a + 1)``
+routers of radix ``a`` (``a - 1`` local + 1 global), one feasible size per
+radix; general DF(a, h, g) needs ``a h >= g - 1`` to connect all groups.
 """
 
 from __future__ import annotations

@@ -3,6 +3,10 @@
 The paper uses Jellyfish as the canonical randomized baseline: its spectral
 gap is strong but provably sub-Ramanujan (Friedman's theorem), which the
 spectral test suite demonstrates empirically against LPS.
+
+Paper: Section II (related work / spectral comparison only; not part of
+Table I).  Constraints: any ``(n_routers, radix)`` with ``n_routers *
+radix`` even and ``radix < n_routers``; exactly ``radix``-regular.
 """
 
 from __future__ import annotations

@@ -23,6 +23,12 @@ Generator sets (xi = a primitive element of GF(q)):
 
 Construction-time verification asserts vertex count, radix, and diameter 2,
 so any instance this module returns *is* an MMS-parameter graph.
+
+Paper: Sections II and IV — SlimFly is the strongest competitor in Table I
+and every evaluation figure (Figs. 4-11).  Constraints: ``q`` a prime power
+with ``q = 4k + delta``, ``delta in {-1, 0, 1}`` (``q % 4 != 2``);
+``2 q^2`` routers of radix ``(3q - delta)/2``; exactly one feasible size
+per radix (the inflexibility Fig. 4 contrasts with LPS).
 """
 
 from __future__ import annotations

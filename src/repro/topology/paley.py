@@ -4,6 +4,11 @@ P(q) for a prime power ``q = 1 (mod 4)``: vertices are GF(q), with an edge
 ``x ~ y`` iff ``x - y`` is a nonzero square.  The congruence condition makes
 -1 a square, so the relation is symmetric; the graph is
 ``(q-1)/2``-regular, vertex-transitive, and self-complementary.
+
+Paper: Section IV — Paley graphs enter as the intra-bundle structure of
+BundleFly (Lei et al. [2]), not as a standalone interconnect.
+Constraints: ``q`` a prime power with ``q = 1 (mod 4)``; ``q`` vertices of
+degree ``(q-1)/2``.
 """
 
 from __future__ import annotations

@@ -19,6 +19,11 @@ SkyWalk's latency advantage comes from its low hop count under low-delay
 switches, not from short cables.  Pass a finite ``tau`` (metres of
 exponential noise added to the cable length before ranking) to bias the
 draw toward short cables.
+
+Paper: Section VII — the wire-length/latency baseline of Table II and
+Fig. 11.  Constraints: any ``(n_routers, radix)`` with ``radix <
+n_routers`` (randomized near-regular construction; degree deviates by at
+most one after the connectivity repair pass).
 """
 
 from __future__ import annotations

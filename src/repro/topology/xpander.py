@@ -15,6 +15,11 @@ a +1 edge {u, v} becomes the parallel pair {(u,0),(v,0)}, {(u,1),(v,1)};
 a -1 edge becomes the crossed pair {(u,0),(v,1)}, {(u,1),(v,0)}.  The lift
 is d-regular on twice the vertices, and its spectrum is the base spectrum
 plus the eigenvalues of the signed adjacency matrix.
+
+Paper: Section II (related work; excluded from the paper's evaluation, run
+here anyway — see ``examples/xpander_comparison.py``).  Constraints: base
+graph K_{d+1}, so sizes are ``(d + 1) * 2^t`` for lift count ``t >= 0``;
+degree ``d`` throughout.
 """
 
 from __future__ import annotations
