@@ -1,0 +1,43 @@
+"""End-to-end simulator throughput: the smoke cells of ``repro bench``.
+
+Runs the same cells as ``python -m repro bench --preset smoke`` under
+pytest-benchmark, so simulator packets/s shows up in the ordinary
+benchmark output alongside the figure regenerations.  Assertions check
+only that the cells deliver all their traffic — speed is reported, never
+gated (see ``BENCH_sim.json`` for the tracked trajectory).
+"""
+
+import pytest
+
+from repro.runner.bench import BENCH_PRESETS, run_cell
+from repro.topology import SIM_CONFIGS
+
+
+@pytest.mark.parametrize(
+    "routing,pattern", BENCH_PRESETS["smoke"]["cells"], ids=lambda c: str(c)
+)
+def test_smoke_cell_throughput(benchmark, routing, pattern):
+    spec = BENCH_PRESETS["smoke"]
+    cfg = SIM_CONFIGS[spec["scale"]]
+    topo_spec = cfg["topologies"][spec["topologies"][0]]
+    topo = topo_spec["build"]()
+
+    row = benchmark.pedantic(
+        run_cell,
+        args=(topo, routing, pattern, spec["load"]),
+        kwargs=dict(
+            concentration=topo_spec["concentration"],
+            n_ranks=spec["n_ranks"],
+            packets_per_rank=spec["packets_per_rank"],
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(
+        f"{row['topology']} {routing}/{pattern}: "
+        f"{row['packets_per_s']:,.0f} pkt/s, {row['events_per_s']:,.0f} ev/s"
+    )
+    assert row["delivered"] > 0
+    assert row["events"] > row["delivered"]  # several events per packet

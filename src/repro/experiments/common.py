@@ -99,7 +99,7 @@ def structural_row(
 
 
 # ---------------------------------------------------------------------------
-def run_synthetic_sim(
+def build_synthetic_sim(
     topo: Topology,
     routing_name: str,
     pattern_name: str,
@@ -109,12 +109,12 @@ def run_synthetic_sim(
     packets_per_rank: int = 20,
     seed: int = 0,
     config: SimConfig | None = None,
-) -> dict[str, Any]:
-    """One open-loop synthetic-traffic simulation; returns the stats summary.
+) -> NetworkSimulator:
+    """Assemble (but do not run) one open-loop synthetic-traffic simulation.
 
-    This is the engine behind Figs. 6-8: a Poisson source per rank at
-    ``offered_load`` of the endpoint bandwidth, the named bit-permutation
-    (or random) pattern, and the requested routing policy.
+    Split out of :func:`run_synthetic_sim` so the perf benchmarks
+    (``repro.runner.bench``) can time ``net.run()`` alone, excluding
+    topology construction and table building.
     """
     cfg = config or SimConfig(concentration=concentration)
     if config is None:
@@ -136,6 +136,37 @@ def run_synthetic_sim(
                 seed=seed * 1_000_003 + rank,
             )
         )
+    return net
+
+
+def run_synthetic_sim(
+    topo: Topology,
+    routing_name: str,
+    pattern_name: str,
+    offered_load: float,
+    concentration: int,
+    n_ranks: int,
+    packets_per_rank: int = 20,
+    seed: int = 0,
+    config: SimConfig | None = None,
+) -> dict[str, Any]:
+    """One open-loop synthetic-traffic simulation; returns the stats summary.
+
+    This is the engine behind Figs. 6-8: a Poisson source per rank at
+    ``offered_load`` of the endpoint bandwidth, the named bit-permutation
+    (or random) pattern, and the requested routing policy.
+    """
+    net = build_synthetic_sim(
+        topo,
+        routing_name,
+        pattern_name,
+        offered_load,
+        concentration=concentration,
+        n_ranks=n_ranks,
+        packets_per_rank=packets_per_rank,
+        seed=seed,
+        config=config,
+    )
     stats = net.run()
     out = stats.summary()
     out.update(

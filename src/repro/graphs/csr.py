@@ -36,6 +36,26 @@ class CSRGraph:
         self._adj_cache: sp.csr_matrix | None = None
         if len(self.indptr) != self.n + 1:
             raise ConstructionError("indptr length must be n + 1")
+        # Sorted neighbour rows are a structural invariant: port_of /
+        # has_edge binary-search them and the routing fast path's
+        # neighbour-row ordering relies on them.  Validate here so a direct
+        # construction with unsorted rows fails loudly, not via silently
+        # wrong searchsorted results deep in a simulation.
+        m = len(self.indices)
+        if m > 1:
+            decreasing = self.indices[1:] < self.indices[:-1]
+            row_starts = self.indptr[1:-1]
+            row_starts = row_starts[(row_starts > 0) & (row_starts < m)]
+            decreasing[row_starts - 1] = False  # pairs spanning two rows
+            if decreasing.any():
+                pos = int(np.flatnonzero(decreasing)[0])
+                v = int(np.searchsorted(self.indptr, pos, side="right")) - 1
+                raise ConstructionError(
+                    f"CSR neighbour row of vertex {v} is not sorted "
+                    f"(indices[{pos}]={int(self.indices[pos])} > "
+                    f"indices[{pos + 1}]={int(self.indices[pos + 1])}); "
+                    "build via CSRGraph.from_edges or sort each row"
+                )
 
     # -- constructors ------------------------------------------------------
     @classmethod

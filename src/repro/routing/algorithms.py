@@ -12,14 +12,29 @@
 
 A policy object is stateless across packets; per-packet routing state
 (Valiant intermediate, phase) lives on the packet.
+
+Hot-path notes (see ``docs/performance.md``)
+--------------------------------------------
+
+Next-hop candidates come from the flat table built by
+:meth:`RoutingTables.build_fast_path` — two scalar indptr reads and one
+indices read per hop — and random values are drawn from a refillable block
+of ``rng.random(_RNG_BLOCK)`` floats instead of one ``rng.integers`` call
+per packet/hop.  Runs remain bit-for-bit deterministic for a fixed seed,
+but the *draw order* (and hence the exact random stream) differs from the
+pre-fast-path implementation, so per-packet outcomes are not comparable
+across that boundary; distributions and seeded reproducibility are.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.routing.tables import RoutingTables
 from repro.utils.rng import as_rng
+
+#: Random floats drawn per generator refill.  One block of 8192 costs about
+#: as much as ~15 single ``rng.integers`` calls, so amortised per-draw cost
+#: drops by two orders of magnitude.
+_RNG_BLOCK = 8192
 
 
 class RoutingPolicy:
@@ -35,6 +50,15 @@ class RoutingPolicy:
     def __init__(self, tables: RoutingTables, seed=0) -> None:
         self.tables = tables
         self.rng = as_rng(seed)
+        self._n = tables.n
+        self._nh_indptr, self._nh_indices = tables.next_hop_table()
+        self._dist_flat = tables.dist_flat
+        self._rand_buf: list[float] = []
+        self._rand_pos = 0
+        if type(self._nh_indices) is list:
+            # List-backed tables hold Python ints already; shadow the
+            # method with the variant that skips the int() wraps.
+            self._random_minimal = self._random_minimal_list
 
     def required_vcs(self) -> int:
         """Virtual channels needed for deadlock freedom (Section V-A)."""
@@ -47,11 +71,57 @@ class RoutingPolicy:
         raise NotImplementedError
 
     # -- shared helpers -----------------------------------------------------
+    def _rand01(self) -> float:
+        """One uniform float in [0, 1) from the refillable block."""
+        pos = self._rand_pos
+        buf = self._rand_buf
+        if pos >= len(buf):
+            buf = self._rand_buf = self.rng.random(_RNG_BLOCK).tolist()
+            pos = 0
+        self._rand_pos = pos + 1
+        return buf[pos]
+
     def _random_minimal(self, router: int, dst: int) -> int:
-        cands = self.tables.min_next_hops(router, dst)
-        if len(cands) == 1:
-            return int(cands[0])
-        return int(cands[self.rng.integers(len(cands))])
+        """Uniform random minimal next hop, read from the flat table."""
+        indptr = self._nh_indptr
+        k = router * self._n + dst
+        lo = indptr[k]
+        width = indptr[k + 1] - lo
+        if width == 1:
+            return int(self._nh_indices[lo])
+        if width <= 0:
+            raise ValueError(f"no minimal next hop from {router} to {dst}")
+        # Inlined _rand01 (this is the single hottest routing call).
+        pos = self._rand_pos
+        buf = self._rand_buf
+        if pos >= len(buf):
+            buf = self._rand_buf = self.rng.random(_RNG_BLOCK).tolist()
+            pos = 0
+        self._rand_pos = pos + 1
+        # buf[pos] < 1.0 strictly, so the offset stays below width.
+        return int(self._nh_indices[lo + int(buf[pos] * width)])
+
+    def _random_minimal_list(self, router: int, dst: int) -> int:
+        """`_random_minimal` minus the int() wraps (list-backed tables)."""
+        indptr = self._nh_indptr
+        k = router * self._n + dst
+        lo = indptr[k]
+        width = indptr[k + 1] - lo
+        if width == 1:
+            return self._nh_indices[lo]
+        if width <= 0:
+            raise ValueError(f"no minimal next hop from {router} to {dst}")
+        pos = self._rand_pos
+        buf = self._rand_buf
+        if pos >= len(buf):
+            buf = self._rand_buf = self.rng.random(_RNG_BLOCK).tolist()
+            pos = 0
+        self._rand_pos = pos + 1
+        return self._nh_indices[lo + int(buf[pos] * width)]
+
+    def _random_router(self) -> int:
+        """Uniform random router id (Valiant intermediate draws)."""
+        return int(self._rand01() * self._n)
 
     def _toward(self, router: int, pkt) -> int:
         """Current waypoint: Valiant intermediate while in phase 0."""
@@ -72,7 +142,26 @@ class MinimalRouting(RoutingPolicy):
         return self.tables.diameter + 1
 
     def next_hop(self, net, router: int, pkt) -> int:  # noqa: ARG002
-        return self._random_minimal(router, pkt.dst_router)
+        # _random_minimal inlined: the simulator pays one Python call per
+        # hop on the hottest policy, not two.  int() is a no-op pass-through
+        # on list-backed tables and the numpy-scalar conversion otherwise.
+        indptr = self._nh_indptr
+        k = router * self._n + pkt.dst_router
+        lo = indptr[k]
+        width = indptr[k + 1] - lo
+        if width == 1:
+            return int(self._nh_indices[lo])
+        if width <= 0:
+            raise ValueError(
+                f"no minimal next hop from {router} to {pkt.dst_router}"
+            )
+        pos = self._rand_pos
+        buf = self._rand_buf
+        if pos >= len(buf):
+            buf = self._rand_buf = self.rng.random(_RNG_BLOCK).tolist()
+            pos = 0
+        self._rand_pos = pos + 1
+        return int(self._nh_indices[lo + int(buf[pos] * width)])
 
 
 class ValiantRouting(RoutingPolicy):
@@ -84,16 +173,40 @@ class ValiantRouting(RoutingPolicy):
         return 2 * self.tables.diameter + 1
 
     def on_source(self, net, router: int, pkt) -> None:  # noqa: ARG002
-        n = self.tables.graph.n
-        inter = int(self.rng.integers(n))
-        if inter in (router, pkt.dst_router):
+        inter = self._random_router()
+        if inter == router or inter == pkt.dst_router:
             pkt.intermediate = None  # degenerate draw: fall back to minimal
         else:
             pkt.intermediate = inter
             pkt.phase = 0
 
     def next_hop(self, net, router: int, pkt) -> int:  # noqa: ARG002
-        return self._random_minimal(router, self._toward(router, pkt))
+        # _toward and _random_minimal inlined (see MinimalRouting.next_hop);
+        # UGALRouting shares this implementation by class-attribute
+        # assignment below.
+        if pkt.intermediate is not None and pkt.phase == 0:
+            if router != pkt.intermediate:
+                dst = pkt.intermediate
+            else:
+                pkt.phase = 1
+                dst = pkt.dst_router
+        else:
+            dst = pkt.dst_router
+        indptr = self._nh_indptr
+        k = router * self._n + dst
+        lo = indptr[k]
+        width = indptr[k + 1] - lo
+        if width == 1:
+            return int(self._nh_indices[lo])
+        if width <= 0:
+            raise ValueError(f"no minimal next hop from {router} to {dst}")
+        pos = self._rand_pos
+        buf = self._rand_buf
+        if pos >= len(buf):
+            buf = self._rand_buf = self.rng.random(_RNG_BLOCK).tolist()
+            pos = 0
+        self._rand_pos = pos + 1
+        return int(self._nh_indices[lo + int(buf[pos] * width)])
 
 
 class UGALRouting(RoutingPolicy):
@@ -115,18 +228,30 @@ class UGALRouting(RoutingPolicy):
         if dst == router:
             pkt.intermediate = None
             return
-        t = self.tables
-        n = t.graph.n
-        inter = int(self.rng.integers(n))
-        if inter in (router, dst):
+        inter = self._random_router()
+        if inter == router or inter == dst:
             pkt.intermediate = None
             return
         min_hop = self._random_minimal(router, dst)
         val_hop = self._random_minimal(router, inter)
-        h_min = t.distance(router, dst)
-        h_val = t.distance(router, inter) + t.distance(inter, dst)
-        q_min = net.output_queue_bytes(router, min_hop)
-        q_val = net.output_queue_bytes(router, val_hop)
+        n = self._n
+        dist = self._dist_flat
+        # int() matters on numpy-backed tables (large topologies): int16
+        # scalars would overflow/wrap in the byte-weighted cost products.
+        h_min = int(dist[router * n + dst])
+        h_val = int(dist[router * n + inter]) + int(dist[inter * n + dst])
+        try:
+            # Direct reads of the simulator's port state (same package);
+            # stubs without these internals fall back to the public method.
+            port_bytes = net._port_bytes
+            edge_index = net._edge_index
+        except AttributeError:
+            q_min = net.output_queue_bytes(router, min_hop)
+            q_val = net.output_queue_bytes(router, val_hop)
+        else:
+            base = router * net.n_routers
+            q_min = port_bytes[edge_index[base + min_hop]]
+            q_val = port_bytes[edge_index[base + val_hop]]
         cost_min = (q_min + pkt.size) * h_min
         cost_val = (q_val + pkt.size) * h_val + self.bias_bytes
         if cost_min <= cost_val:
@@ -135,8 +260,8 @@ class UGALRouting(RoutingPolicy):
             pkt.intermediate = inter
             pkt.phase = 0
 
-    def next_hop(self, net, router: int, pkt) -> int:  # noqa: ARG002
-        return self._random_minimal(router, self._toward(router, pkt))
+    # Identical two-phase forwarding; share the inlined implementation.
+    next_hop = ValiantRouting.next_hop
 
 
 class UGALGRouting(UGALRouting):
@@ -156,9 +281,8 @@ class UGALGRouting(UGALRouting):
         if dst == router:
             pkt.intermediate = None
             return
-        n = self.tables.graph.n
-        inter = int(self.rng.integers(n))
-        if inter in (router, dst):
+        inter = self._random_router()
+        if inter == router or inter == dst:
             pkt.intermediate = None
             return
         q_min, h_min = self._path_cost(net, router, dst)

@@ -1,4 +1,4 @@
-"""Distance tables and minimal next-hop queries.
+"""Distance tables, minimal next-hop queries, and the simulator fast path.
 
 A single ``n x n`` int16 hop-distance matrix (batched-BFS, computed once per
 topology) answers every routing question the simulator asks:
@@ -8,13 +8,29 @@ topology) answers every routing question the simulator asks:
   point of the paper's Section VI analysis);
 * path lengths for UGAL's minimal-vs-Valiant comparison.
 
-Queries are numpy slices over the CSR row — no per-packet Python search.
+Two query paths coexist:
 
-The ``n x n`` matrix is the single most expensive intermediate the
-simulations share, so it is transparently memoised in the content-addressed
-disk cache (:mod:`repro.utils.diskcache`) keyed by the graph's CSR hash:
-every simulator run, benchmark, and CLI invocation over the same topology
-reuses one BFS.  Set ``REPRO_CACHE=0`` to disable.
+* :meth:`min_next_hops` / :meth:`port_of` — the *reference* implementations,
+  numpy slices over the CSR row.  Simple, obviously correct, and what the
+  property tests compare the fast path against.
+* the **flat next-hop table** — a CSR-of-CSR layout built once per topology
+  by :meth:`build_fast_path`: one flat candidate array ``nh_indices`` where
+  the candidates of pair ``(u, d)`` live at
+  ``nh_indptr[u * n + d] : nh_indptr[u * n + d + 1]``, in neighbour-row
+  order.  Together with :attr:`edge_index` (a dict mapping
+  ``u * n + v -> directed edge id``) this turns every per-hop query into
+  one or two O(1) scalar reads — no per-packet numpy slicing, boolean
+  masking, or ``searchsorted``.  On small/medium topologies the flat arrays
+  are converted to plain Python lists, whose scalar indexing is ~3x faster
+  than numpy's; past :data:`LIST_CELLS_MAX` cells they stay numpy arrays to
+  bound memory.
+
+The ``n x n`` matrix and the next-hop table are the most expensive
+intermediates the simulations share, so both are transparently memoised in
+the content-addressed disk cache (:mod:`repro.utils.diskcache`) keyed by the
+graph's CSR hash: every simulator run, benchmark, and CLI invocation over
+the same topology reuses one BFS and one table build.  Set ``REPRO_CACHE=0``
+to disable.
 """
 
 from __future__ import annotations
@@ -25,12 +41,21 @@ from repro.graphs.bfs import distance_matrix
 from repro.graphs.csr import CSRGraph
 from repro.utils.diskcache import get_default_cache
 
+#: Above this many ``(router, destination)`` cells the flat next-hop arrays
+#: stay numpy (memory-bounded); at or below it they become Python lists,
+#: trading memory for the fastest possible scalar indexing.  2**21 cells
+#: covers every topology of the small/paper size classes up to ~1.4K
+#: routers.
+LIST_CELLS_MAX = 1 << 21
+
 
 class RoutingTables:
-    """Hop-distance oracle for one router graph."""
+    """Hop-distance oracle (+ flat fast-path tables) for one router graph."""
 
     def __init__(self, graph: CSRGraph, use_cache: bool = True) -> None:
         self.graph = graph
+        self.n = graph.n
+        self._use_cache = use_cache
         if use_cache:
             key = ("distance-matrix", graph.content_hash())
             self.dist = get_default_cache().memoize(
@@ -42,23 +67,116 @@ class RoutingTables:
             raise ValueError("router graph is disconnected")
         self.diameter = int(self.dist.max())
 
+        #: O(1) directed-edge lookup: ``edge_index[u * n + v]`` is the CSR
+        #: position of the directed edge u -> v.  The simulator's event loop
+        #: reads this dict directly.
+        heads = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(graph.indptr)
+        )
+        keys = (heads * self.n + graph.indices).tolist()
+        self.edge_index: dict[int, int] = dict(zip(keys, range(len(keys))))
+        self._indptr_list: list[int] = graph.indptr.tolist()
+
+        # Flat next-hop table; built lazily (only simulations need it).
+        self._nh_indptr = None
+        self._nh_indices = None
+        #: Row-major flat view of ``dist`` for O(1) scalar reads
+        #: (``dist_flat[u * n + d]``); a Python list on small topologies,
+        #: a raveled int16 view otherwise.  Populated by
+        #: :meth:`build_fast_path`.
+        self.dist_flat = None
+
+    # -- reference queries ---------------------------------------------------
     def distance(self, u: int, d: int) -> int:
         """Hop distance from router u to router d."""
         return int(self.dist[u, d])
 
     def min_next_hops(self, u: int, d: int) -> np.ndarray:
-        """All neighbours of ``u`` on a shortest path to ``d``."""
+        """All neighbours of ``u`` on a shortest path to ``d``.
+
+        Reference implementation (numpy slice over the CSR row); the
+        simulator hot path reads the flat table from
+        :meth:`next_hop_table` instead.
+        """
         row = self.graph.neighbors(u)
         return row[self.dist[row, d] == self.dist[u, d] - 1]
 
     def port_of(self, u: int, v: int) -> int:
         """Local port index of the link u -> v (raises if absent)."""
-        row = self.graph.neighbors(u)
-        i = int(np.searchsorted(row, v))
-        if i >= len(row) or row[i] != v:
-            raise KeyError(f"no link {u} -> {v}")
-        return i
+        return self.directed_edge_id(u, v) - self._indptr_list[u]
 
     def directed_edge_id(self, u: int, v: int) -> int:
         """Global id of the directed edge u -> v (CSR position)."""
-        return int(self.graph.indptr[u]) + self.port_of(u, v)
+        eid = self.edge_index.get(u * self.n + v)
+        if eid is None:
+            raise KeyError(f"no link {u} -> {v}")
+        return eid
+
+    # -- flat fast path ------------------------------------------------------
+    def _build_next_hop_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-of-CSR minimal next hops for every (router, destination).
+
+        Returns ``(indptr, indices)``: the candidates of pair ``(u, d)``
+        are ``indices[indptr[u*n + d] : indptr[u*n + d + 1]]``, listed in
+        the same (sorted neighbour-row) order as :meth:`min_next_hops`.
+        """
+        g = self.graph
+        n = self.n
+        dist = self.dist
+        counts = np.empty(n * n, dtype=np.int64)
+        chunks = []
+        for u in range(n):
+            row = g.neighbors(u)
+            # mask[d, j]: neighbour row[j] is a minimal next hop toward d.
+            mask = (dist[row] == dist[u] - np.int16(1)).T
+            d_idx, j_idx = np.nonzero(mask)
+            chunks.append(row[j_idx])
+            counts[u * n : (u + 1) * n] = mask.sum(axis=1)
+        indptr = np.empty(n * n + 1, dtype=np.int64)
+        indptr[0] = 0
+        np.cumsum(counts, out=indptr[1:])
+        indices = (
+            np.concatenate(chunks).astype(np.int32)
+            if chunks
+            else np.empty(0, dtype=np.int32)
+        )
+        return indptr, indices
+
+    def build_fast_path(self) -> None:
+        """Build (or load from the disk cache) the flat next-hop table."""
+        if self._nh_indptr is not None:
+            return
+        if self._use_cache:
+            key = ("next-hop-table", self.graph.content_hash())
+            indptr, indices = get_default_cache().memoize(
+                key, self._build_next_hop_table
+            )
+        else:
+            indptr, indices = self._build_next_hop_table()
+        if self.n * self.n <= LIST_CELLS_MAX:
+            self._nh_indptr = indptr.tolist()
+            self._nh_indices = indices.tolist()
+            self.dist_flat = self.dist.ravel().tolist()
+        else:
+            self._nh_indptr = indptr
+            self._nh_indices = indices
+            self.dist_flat = self.dist.ravel()
+
+    def next_hop_table(self):
+        """The flat ``(nh_indptr, nh_indices)`` pair (built on first use).
+
+        Both are Python lists on small/medium topologies and numpy arrays
+        past :data:`LIST_CELLS_MAX` cells; either way
+        ``nh_indices[nh_indptr[u*n + d] : nh_indptr[u*n + d + 1]]`` are the
+        minimal next hops of ``(u, d)``.
+        """
+        self.build_fast_path()
+        return self._nh_indptr, self._nh_indices
+
+    def table_next_hops(self, u: int, d: int) -> np.ndarray:
+        """Candidates of ``(u, d)`` read from the flat table (test hook)."""
+        self.build_fast_path()
+        k = u * self.n + d
+        lo = self._nh_indptr[k]
+        hi = self._nh_indptr[k + 1]
+        return np.asarray(self._nh_indices[lo:hi], dtype=np.int32)

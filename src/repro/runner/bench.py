@@ -1,0 +1,309 @@
+"""Tracked performance benchmarks: ``python -m repro bench``.
+
+Simulated packets/second is the binding constraint on how many
+loads x patterns x topologies x sizes the reproduction can sweep, so the
+simulator's speed is a tracked artifact rather than folklore.  This module
+measures
+
+* **end-to-end cells** — the small-preset saturation driver's engine
+  (:func:`repro.experiments.common.build_synthetic_sim`) across
+  topology x routing x pattern cells, timing ``net.run()`` alone and
+  reporting packets/s and events/s per cell;
+* **micro benchmarks** — the per-hop primitives the fast path is built
+  from: directed-edge-id lookup, minimal-next-hop selection, and
+  single-draw vs block-drawn RNG.
+
+Results are written to ``BENCH_sim.json``; the committed copy at the repo
+root records the perf trajectory (the pre-optimization baseline is stored
+in the same file under ``"baseline"``).  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Any
+
+# Presets: which cells the end-to-end sweep runs.  ``smoke`` is sized for
+# CI (seconds); ``small`` is the tracked configuration committed in
+# BENCH_sim.json; ``full`` is paper scale (slow, opt-in).
+BENCH_PRESETS: dict[str, dict[str, Any]] = {
+    "smoke": {
+        "scale": "small",
+        "topologies": ("SpectralFly",),
+        "cells": (("minimal", "shuffle"), ("ugal", "shuffle")),
+        "load": 0.5,
+        "n_ranks": 256,
+        "packets_per_rank": 5,
+    },
+    "small": {
+        "scale": "small",
+        "topologies": None,  # all topologies of the small size class
+        "cells": (
+            ("minimal", "shuffle"),
+            ("valiant", "shuffle"),
+            ("ugal", "shuffle"),
+            ("ugal", "random"),
+        ),
+        "load": 0.5,
+        "n_ranks": 512,
+        "packets_per_rank": 15,
+    },
+    "full": {
+        "scale": "paper",
+        "topologies": None,
+        "cells": (
+            ("minimal", "shuffle"),
+            ("valiant", "shuffle"),
+            ("ugal", "shuffle"),
+            ("ugal", "random"),
+        ),
+        "load": 0.5,
+        "n_ranks": 8192,
+        "packets_per_rank": 15,
+    },
+}
+
+#: Seed shared by every cell so before/after runs are comparable.
+BENCH_SEED = 0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end cells
+# ---------------------------------------------------------------------------
+def run_cell(
+    topo,
+    routing: str,
+    pattern: str,
+    load: float,
+    concentration: int,
+    n_ranks: int,
+    packets_per_rank: int,
+    seed: int = BENCH_SEED,
+) -> dict[str, Any]:
+    """Build one synthetic-traffic sim, time ``net.run()``, summarise."""
+    from repro.experiments.common import build_synthetic_sim
+
+    net = build_synthetic_sim(
+        topo,
+        routing,
+        pattern,
+        load,
+        concentration=concentration,
+        n_ranks=n_ranks,
+        packets_per_rank=packets_per_rank,
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    stats = net.run()
+    wall = time.perf_counter() - t0
+    summary = stats.summary()
+    delivered = int(summary.get("delivered", 0))
+    n_events = int(getattr(stats, "n_events", 0))
+    return {
+        "topology": topo.name,
+        "routing": routing,
+        "pattern": pattern,
+        "load": load,
+        "n_ranks": n_ranks,
+        "packets_per_rank": packets_per_rank,
+        "delivered": delivered,
+        "events": n_events,
+        "wall_s": round(wall, 4),
+        "packets_per_s": round(delivered / wall, 1) if wall > 0 else 0.0,
+        "events_per_s": round(n_events / wall, 1) if wall > 0 else 0.0,
+        "mean_latency_ns": round(float(summary.get("mean_latency_ns", 0.0)), 2),
+        "mean_hops": round(float(summary.get("mean_hops", 0.0)), 4),
+    }
+
+
+def run_end_to_end(preset: str, repeats: int = 1, progress=None) -> list[dict[str, Any]]:
+    """Run every cell of ``preset`` ``repeats`` times; keep the best wall."""
+    from repro.topology import SIM_CONFIGS
+
+    spec = BENCH_PRESETS[preset]
+    cfg = SIM_CONFIGS[spec["scale"]]
+    names = spec["topologies"] or tuple(cfg["topologies"])
+    rows = []
+    for name in names:
+        topo_spec = cfg["topologies"][name]
+        topo = topo_spec["build"]()
+        for routing, pattern in spec["cells"]:
+            best: dict[str, Any] | None = None
+            for _ in range(max(1, repeats)):
+                row = run_cell(
+                    topo,
+                    routing,
+                    pattern,
+                    spec["load"],
+                    concentration=topo_spec["concentration"],
+                    n_ranks=spec["n_ranks"],
+                    packets_per_rank=spec["packets_per_rank"],
+                )
+                if best is None or row["wall_s"] < best["wall_s"]:
+                    best = row
+            rows.append(best)
+            if progress is not None:
+                progress(
+                    f"  {best['topology']:>12} {best['routing']:>8} "
+                    f"{best['pattern']:>8}: {best['packets_per_s']:>10,.0f} pkt/s "
+                    f"({best['wall_s']:.2f}s)"
+                )
+    return rows
+
+
+def summarize(rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate cells into the headline packets/s (total work / total wall)."""
+    total_pkts = sum(r["delivered"] for r in rows)
+    total_events = sum(r["events"] for r in rows)
+    total_wall = sum(r["wall_s"] for r in rows)
+    return {
+        "cells": len(rows),
+        "total_packets": total_pkts,
+        "total_events": total_events,
+        "total_wall_s": round(total_wall, 3),
+        "packets_per_s": round(total_pkts / total_wall, 1) if total_wall else 0.0,
+        "events_per_s": round(total_events / total_wall, 1) if total_wall else 0.0,
+        "median_cell_packets_per_s": round(
+            statistics.median(r["packets_per_s"] for r in rows), 1
+        )
+        if rows
+        else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Micro benchmarks
+# ---------------------------------------------------------------------------
+def _time_loop(fn, n: int) -> float:
+    """Ops/second of ``fn(i)`` over ``n`` iterations."""
+    t0 = time.perf_counter()
+    for i in range(n):
+        fn(i)
+    dt = time.perf_counter() - t0
+    return n / dt if dt > 0 else 0.0
+
+
+def run_micro(n_ops: int = 50_000) -> dict[str, float]:
+    """Per-hop primitive rates on the small SpectralFly topology."""
+    import numpy as np
+
+    from repro.routing import RoutingTables, make_routing
+    from repro.topology import build_lps
+    from repro.utils.rng import as_rng
+
+    topo = build_lps(11, 7)
+    g = topo.graph
+    tables = RoutingTables(g)
+    policy = make_routing("minimal", tables, seed=0)
+
+    rng = np.random.default_rng(12345)
+    n = g.n
+    # Pre-draw query operands so the timed loops measure lookups only.
+    us = rng.integers(0, n, size=n_ops).tolist()
+    heads = np.repeat(np.arange(n), np.diff(g.indptr))
+    pick = rng.integers(0, len(g.indices), size=n_ops)
+    edge_u = heads[pick].tolist()
+    edge_v = g.indices[pick].tolist()
+    ds = rng.integers(0, n, size=n_ops).tolist()
+    pairs = [(u, d) for u, d in zip(us, ds) if u != d]
+
+    out = {
+        "edge_id_lookups_per_s": _time_loop(
+            lambda i: tables.directed_edge_id(edge_u[i], edge_v[i]), n_ops
+        ),
+        "min_next_hop_draws_per_s": _time_loop(
+            lambda i: policy._random_minimal(*pairs[i % len(pairs)]), n_ops
+        ),
+    }
+
+    # RNG: one generator call per value vs one refilled block per 2^13 values.
+    single = as_rng(7)
+    out["rng_single_draws_per_s"] = _time_loop(
+        lambda i: int(single.integers(8)), n_ops
+    )
+    block_rng = as_rng(7)
+    state = {"buf": [], "pos": 0}
+
+    def batched(i):
+        pos = state["pos"]
+        buf = state["buf"]
+        if pos >= len(buf):
+            buf = state["buf"] = block_rng.random(8192).tolist()
+            pos = 0
+        state["pos"] = pos + 1
+        return int(buf[pos] * 8)
+
+    out["rng_batched_draws_per_s"] = _time_loop(batched, n_ops)
+    return {k: round(v, 1) for k, v in out.items()}
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def run_bench(
+    preset: str = "small",
+    out_path: str | Path | None = "BENCH_sim.json",
+    repeats: int = 1,
+    baseline: dict[str, Any] | None = None,
+    micro: bool = True,
+    progress=print,
+) -> dict[str, Any]:
+    """Run the benchmark suite and (optionally) write ``BENCH_sim.json``."""
+    import numpy as np
+
+    if preset not in BENCH_PRESETS:
+        raise ValueError(
+            f"unknown bench preset {preset!r}; options {list(BENCH_PRESETS)}"
+        )
+    if progress is not None:
+        progress(f"== repro bench — preset {preset!r}, repeats {repeats}")
+    t0 = time.perf_counter()
+    rows = run_end_to_end(preset, repeats=repeats, progress=progress)
+    summary = summarize(rows)
+    result: dict[str, Any] = {
+        "schema": 1,
+        "kind": "repro-sim-perf",
+        "preset": preset,
+        "seed": BENCH_SEED,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "cells": rows,
+        "summary": summary,
+    }
+    if micro:
+        if progress is not None:
+            progress("  micro benchmarks...")
+        result["micro"] = run_micro()
+    if baseline:
+        result["baseline"] = baseline
+        base = float(baseline.get("packets_per_s", 0.0))
+        if base > 0:
+            result["summary"]["speedup_vs_baseline"] = round(
+                summary["packets_per_s"] / base, 2
+            )
+    result["bench_wall_s"] = round(time.perf_counter() - t0, 2)
+    if progress is not None:
+        progress(
+            f"== {summary['total_packets']:,} packets in "
+            f"{summary['total_wall_s']:.2f}s of simulation -> "
+            f"{summary['packets_per_s']:,.0f} pkt/s, "
+            f"{summary['events_per_s']:,.0f} events/s"
+        )
+        if "speedup_vs_baseline" in result["summary"]:
+            progress(
+                f"== speedup vs recorded baseline: "
+                f"{result['summary']['speedup_vs_baseline']:.2f}x"
+            )
+    if out_path is not None:
+        path = Path(out_path)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        if progress is not None:
+            progress(f"== wrote {path}")
+    return result

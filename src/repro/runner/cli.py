@@ -17,6 +17,10 @@ Subcommands
 ``report``
     Run every experiment and write the tables + an index to a results
     directory (the successor of ``scripts/collect_results.py``).
+``bench``
+    Measure simulator throughput (packets/s, events/s) across
+    topology x routing x pattern cells plus per-hop micro benchmarks, and
+    write ``BENCH_sim.json`` (see ``docs/performance.md``).
 ``cache``
     Inspect or clear the on-disk result/artifact cache.
 
@@ -38,6 +42,7 @@ from __future__ import annotations
 import argparse
 import ast
 import itertools
+import json
 import pathlib
 import sys
 import time
@@ -256,6 +261,37 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runner.bench import run_bench
+
+    _select_cache(args)
+    baseline = None
+    if args.baseline_from:
+        prior = json.loads(pathlib.Path(args.baseline_from).read_text())
+        # Carry an existing file's baseline forward, or use its own summary
+        # as the baseline (first measurement after an optimisation).
+        baseline = prior.get("baseline") or {
+            "packets_per_s": prior["summary"]["packets_per_s"],
+            "events_per_s": prior["summary"].get("events_per_s"),
+            "preset": prior.get("preset"),
+            "note": args.baseline_note or "previous BENCH_sim.json summary",
+        }
+    elif args.baseline is not None:
+        baseline = {
+            "packets_per_s": args.baseline,
+            "note": args.baseline_note or "recorded pre-change measurement",
+        }
+    run_bench(
+        preset=args.preset,
+        out_path=args.out,
+        repeats=args.repeats,
+        baseline=baseline,
+        micro=not args.no_micro,
+        progress=None if args.quiet else print,
+    )
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = _select_cache(args)
     if args.clear:
@@ -326,6 +362,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tag", help="only experiments with this tag")
     _add_common_run_args(p)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench", help="measure simulator packets/s and write BENCH_sim.json"
+    )
+    p.add_argument("--preset", choices=("smoke", "small", "full"), default="small",
+                   help="cell set: smoke (CI seconds), small (tracked, default), "
+                        "full (paper scale)")
+    p.add_argument("--out", "-o", default="BENCH_sim.json", metavar="FILE",
+                   help="output JSON path (default BENCH_sim.json)")
+    p.add_argument("--repeats", type=int, default=1, metavar="N",
+                   help="runs per cell, best wall time kept (default 1)")
+    p.add_argument("--baseline", type=float, metavar="PKT_PER_S",
+                   help="pre-change packets/s to record and compare against")
+    p.add_argument("--baseline-from", metavar="FILE",
+                   help="carry the baseline (or summary) of an existing "
+                        "BENCH_sim.json forward")
+    p.add_argument("--baseline-note", metavar="TEXT",
+                   help="provenance note stored with the baseline")
+    p.add_argument("--no-micro", action="store_true",
+                   help="skip the micro benchmarks")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk cache entirely")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help=f"cache root (default {default_cache_dir()})")
+    p.add_argument("--quiet", "-q", action="store_true",
+                   help="suppress progress output")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("cache", help="inspect or clear the artifact cache")
     p.add_argument("--clear", action="store_true", help="delete all entries")

@@ -15,8 +15,19 @@ Model (coarse-grained, mirroring SNAPPR's role in the paper):
   in SNAPPR.  ``SimStats.max_queue_bytes`` reports how deep the 64 KB paper
   buffers would have had to be.
 
-The event loop is a ``heapq`` over plain tuples
-``(time, seq, kind, payload)`` — the hot path allocates nothing else.
+The event loop is a ``heapq`` over flat plain tuples
+``(time, seq, kind, *payload)`` — one allocation per event, nothing else on
+the hot path.
+
+Hot-path notes (see ``docs/performance.md``): per-port scalar state
+(``_port_busy``, ``_port_bytes``, ``_port_rr``, ``_nic_busy``, ``_ej_busy``)
+lives in plain Python lists — single-element numpy indexing costs ~3x a
+list read and allocates a numpy scalar per access.  Event dispatch is a
+tuple of bound methods indexed by the event kind, config-derived constants
+(``_ns_per_byte``, ``_switch_ns``, ``_link_ns``) are precomputed once, and
+the directed-edge lookup is one dict read from
+``RoutingTables.edge_index``.  ``_buf_used`` stays a numpy 2-D array: it is
+touched only in ``finite_buffers`` mode, off the default hot path.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass
+from heapq import heappush
 
 import numpy as np
 
@@ -35,17 +47,22 @@ from repro.sim.packet import Packet
 from repro.sim.stats import SimStats
 from repro.topology.base import Topology
 
-# Event kinds.
-_NIC_DONE = 0  # endpoint NIC finished serialising a packet into its router
-_ARRIVE = 1  # packet fully arrived at a router
-_PORT_DONE = 2  # router output port finished serialising a packet
-_EJECT_DONE = 3  # ejection port finished delivering to the endpoint
-_INJECT = 4  # open-loop traffic source fires
+# Event kinds (indexes into the handler tuple built in ``__init__``).
+# Events are flat tuples: (time, seq, kind, *payload).
+_NIC_DONE = 0  # (t, seq, 0, ep, pkt): NIC finished serialising into router
+_ARRIVE = 1  # (t, seq, 1, router, pkt, is_source): packet fully at a router
+_PORT_DONE = 2  # (t, seq, 2, eid, pkt, next_router, vc): port finished
+_EJECT_DONE = 3  # (t, seq, 3, ep, pkt): delivered to the endpoint
+_INJECT = 4  # (t, seq, 4, source): open-loop traffic source fires
 
 
 @dataclass
 class SimConfig:
-    """Hardware parameters (defaults follow the paper's Section VI setup)."""
+    """Hardware parameters (defaults follow the paper's Section VI setup).
+
+    Treated as frozen once a :class:`NetworkSimulator` is constructed — the
+    simulator precomputes derived constants at init time.
+    """
 
     concentration: int = 4
     link_bandwidth_gbps: float = 100.0  # EDR-class links
@@ -87,11 +104,15 @@ class NetworkSimulator:
         self.n_vcs = routing.required_vcs()
 
         n_dir = len(g.indices)
-        # Router output ports (one per directed edge).
-        self._port_busy = np.zeros(n_dir, dtype=bool)
-        self._port_bytes = np.zeros(n_dir, dtype=np.int64)
+        # Router output ports (one per directed edge); plain lists — see
+        # module docstring.
+        self._port_busy: list[bool] = [False] * n_dir
+        self._port_bytes: list[int] = [0] * n_dir
         self._port_queues: list[list[deque] | None] = [None] * n_dir
-        self._port_rr: np.ndarray = np.zeros(n_dir, dtype=np.int64)
+        # Packets waiting in _port_queues[eid] across all VCs; lets
+        # _port_done skip the round-robin VC scan for idle ports.
+        self._port_queued: list[int] = [0] * n_dir
+        self._port_rr: list[int] = [0] * n_dir
         # Downstream input-buffer occupancy per (directed edge, VC); only
         # enforced when config.finite_buffers.
         self._buf_used = (
@@ -101,9 +122,9 @@ class NetworkSimulator:
         )
         # Endpoint NIC injection and ejection ports.
         n_ep = self.n_endpoints
-        self._nic_busy = np.zeros(n_ep, dtype=bool)
+        self._nic_busy: list[bool] = [False] * n_ep
         self._nic_queues: list[deque] = [deque() for _ in range(n_ep)]
-        self._ej_busy = np.zeros(n_ep, dtype=bool)
+        self._ej_busy: list[bool] = [False] * n_ep
         self._ej_queues: list[deque] = [deque() for _ in range(n_ep)]
 
         self._events: list[tuple] = []
@@ -112,16 +133,35 @@ class NetworkSimulator:
         self.now = 0.0
         self.stats = SimStats()
         self._sources: list = []  # open-loop traffic sources
+        self._n_sources_started = 0  # sources already start()ed by run()
         self.on_delivery = None  # optional callback(pkt, t)
+
+        # Hot-path constants and lookups, bound once.
+        self._ns_per_byte = 1.0 / config.bytes_per_ns
+        self._switch_ns = config.switch_latency_ns
+        self._link_ns = config.link_latency_ns
+        self._conc = config.concentration
+        self._packet_bytes = config.packet_bytes
+        self._edge_index = self.tables.edge_index
+        # Direct method dispatch, indexed by event kind.
+        self._handlers = (
+            self._nic_done,
+            self._arrive,
+            self._port_done,
+            self._eject_done,
+            self._fire_source,
+        )
 
     # -- public API --------------------------------------------------------
     def endpoint_router(self, ep: int) -> int:
         """Router hosting endpoint ``ep`` (standard sequential attachment)."""
-        return ep // self.config.concentration
+        return ep // self._conc
 
     def output_queue_bytes(self, router: int, next_router: int) -> int:
         """Local queue occupancy of the port router->next_router (UGAL-L)."""
-        return int(self._port_bytes[self.tables.directed_edge_id(router, next_router)])
+        return self._port_bytes[
+            self._edge_index[router * self.n_routers + next_router]
+        ]
 
     def send(self, src_ep: int, dst_ep: int, size: int | None = None, tag=None,
              t: float | None = None) -> Packet | None:
@@ -131,28 +171,30 @@ class NetworkSimulator:
         after invoking the delivery callback.
         """
         t = self.now if t is None else t
-        size = self.config.packet_bytes if size is None else int(size)
+        size = self._packet_bytes if size is None else int(size)
         if src_ep == dst_ep:
             if self.on_delivery is not None:
                 self.on_delivery(
-                    Packet(-1, src_ep, dst_ep, size, t, self.endpoint_router(dst_ep),
+                    Packet(-1, src_ep, dst_ep, size, t, dst_ep // self._conc,
                            tag=tag),
                     t,
                 )
             return None
         pkt = Packet(
             next(self._pid), src_ep, dst_ep, size, t,
-            self.endpoint_router(dst_ep), tag=tag,
+            dst_ep // self._conc, tag=tag,
         )
-        self.stats.n_injected += 1
-        self.stats.t_first_inject = min(self.stats.t_first_inject, t)
-        q = self._nic_queues[src_ep]
+        stats = self.stats
+        stats.n_injected += 1
+        if t < stats.t_first_inject:
+            stats.t_first_inject = t
         if self._nic_busy[src_ep]:
-            q.append(pkt)
+            self._nic_queues[src_ep].append(pkt)
         else:
             self._nic_busy[src_ep] = True
-            self._push(t + pkt.size / self.config.bytes_per_ns, _NIC_DONE,
-                       (src_ep, pkt))
+            heappush(self._events,
+                     (t + pkt.size * self._ns_per_byte, next(self._seq),
+                      _NIC_DONE, src_ep, pkt))
         return pkt
 
     def add_open_loop_source(self, source) -> None:
@@ -162,23 +204,53 @@ class NetworkSimulator:
     def run(self, until: float | None = None, max_events: int | None = None) -> SimStats:
         """Drain the event queue; returns the stats object.
 
+        ``until`` pauses the simulation after the last event at or before
+        that time; the first event past it is left in the queue, so a
+        subsequent ``run()`` resumes exactly where the paused run stopped.
+
         With ``finite_buffers``, a run that drains its events while packets
         remain undelivered has genuinely *deadlocked* (cyclic buffer
         dependencies — exactly what Section V-A's VC scheme prevents); the
         returned stats carry ``deadlocked=True`` in that case.
         """
-        for src in self._sources:
+        # Start each source exactly once, even across paused/resumed runs —
+        # re-starting would schedule a duplicate injection chain on top of
+        # the pending one left in the queue by run(until=...).
+        for src in self._sources[self._n_sources_started:]:
             src.start(self)
+        self._n_sources_started = len(self._sources)
+        events = self._events
+        handlers = self._handlers
+        pop = heapq.heappop
         n_ev = 0
-        while self._events:
-            t, _, kind, payload = heapq.heappop(self._events)
-            if until is not None and t > until:
-                break
-            self.now = t
-            self._dispatch(kind, payload, t)
-            n_ev += 1
-            if max_events is not None and n_ev > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
+        if until is None and max_events is None and self._buf_used is None:
+            # Default configuration: the fully inlined hot loop (one Python
+            # frame per *run*, not per event).  tests/test_sim_fastpath.py
+            # pins it event-for-event equal to the handler path below.
+            n_ev = self._run_fast()
+        elif until is None and max_events is None:
+            # Finite buffers: handler dispatch, no bound checks.
+            while events:
+                item = pop(events)
+                t = item[0]
+                self.now = t
+                handlers[item[2]](item, t)
+                n_ev += 1
+        else:
+            while events:
+                item = pop(events)
+                t = item[0]
+                if until is not None and t > until:
+                    # Not ours to process: re-queue it so a resumed run sees
+                    # it (popping and dropping would silently lose it).
+                    heappush(events, item)
+                    break
+                self.now = t
+                handlers[item[2]](item, t)
+                n_ev += 1
+                if max_events is not None and n_ev > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+        self.stats.n_events += n_ev
         if until is None and max_events is None:
             undelivered = self.stats.n_injected - len(self.stats.latencies_ns)
             if undelivered > 0 and self.config.finite_buffers:
@@ -187,72 +259,219 @@ class NetworkSimulator:
         return self.stats
 
     # -- internals ----------------------------------------------------------
-    def _push(self, t: float, kind: int, payload) -> None:
-        heapq.heappush(self._events, (t, next(self._seq), kind, payload))
+    def _run_fast(self) -> int:
+        """Drain the queue with every handler body inlined (hot default).
 
-    def _dispatch(self, kind: int, payload, t: float) -> None:
-        if kind == _PORT_DONE:
-            self._port_done(payload, t)
-        elif kind == _ARRIVE:
-            self._arrive(payload, t)
-        elif kind == _NIC_DONE:
-            self._nic_done(payload, t)
-        elif kind == _EJECT_DONE:
-            self._eject_done(payload, t)
-        elif kind == _INJECT:
-            source, = payload
-            source.fire(self, t)
-        else:  # pragma: no cover - defensive
-            raise SimulationError(f"unknown event kind {kind}")
+        Semantically identical to dispatching through ``self._handlers``
+        (the equivalence is pinned by a test) but saves one Python frame
+        per event, which is worth ~10% of total runtime.  Only valid for
+        the default configuration: no ``until``/``max_events`` bound and
+        unbounded buffers (``_buf_used is None``), so the finite-buffer
+        branches of the handlers are omitted here.
+        """
+        events = self._events
+        pop = heapq.heappop
+        push = heappush
+        seq = self._seq
+        stats = self.stats
+        port_bytes = self._port_bytes
+        port_busy = self._port_busy
+        port_queues = self._port_queues
+        port_queued = self._port_queued
+        port_rr = self._port_rr
+        nic_busy = self._nic_busy
+        nic_queues = self._nic_queues
+        ej_busy = self._ej_busy
+        ej_queues = self._ej_queues
+        edge_index = self._edge_index
+        routing = self.routing
+        next_hop = routing.next_hop
+        on_source = routing.on_source
+        n_routers = self.n_routers
+        n_vcs = self.n_vcs
+        ns_per_byte = self._ns_per_byte
+        switch_ns = self._switch_ns
+        link_ns = self._link_ns
+        conc = self._conc
+        latencies = stats.latencies_ns
+        hop_counts = stats.hops
+        n_ev = 0
+        while events:
+            item = pop(events)
+            t = item[0]
+            self.now = t
+            kind = item[2]
+            n_ev += 1
+            if kind == 1:  # _ARRIVE
+                router = item[3]
+                pkt = item[4]
+                if router == pkt.dst_router:
+                    ep = pkt.dst_ep
+                    if ej_busy[ep]:
+                        ej_queues[ep].append(pkt)
+                    else:
+                        ej_busy[ep] = True
+                        push(events,
+                             (t + switch_ns + pkt.size * ns_per_byte,
+                              next(seq), 3, ep, pkt))
+                    continue
+                if item[5]:  # is_source
+                    on_source(self, router, pkt)
+                    if pkt.intermediate is not None:
+                        stats.valiant_choices += 1
+                    else:
+                        stats.minimal_choices += 1
+                nxt = next_hop(self, router, pkt)
+                eid = edge_index[router * n_routers + nxt]
+                vc = pkt.hops
+                if vc >= n_vcs:
+                    vc = n_vcs - 1
+                size = pkt.size
+                queued = port_bytes[eid] + size
+                port_bytes[eid] = queued
+                if queued > stats.max_queue_bytes:
+                    stats.max_queue_bytes = queued
+                if port_busy[eid]:
+                    qs = port_queues[eid]
+                    if qs is None:
+                        qs = port_queues[eid] = [
+                            deque() for _ in range(n_vcs)
+                        ]
+                    qs[vc].append((pkt, nxt))
+                    port_queued[eid] += 1
+                else:
+                    port_busy[eid] = True
+                    push(events,
+                         (t + switch_ns + size * ns_per_byte, next(seq),
+                          2, eid, pkt, nxt, vc))
+            elif kind == 2:  # _PORT_DONE
+                eid = item[3]
+                pkt = item[4]
+                port_bytes[eid] -= pkt.size
+                pkt.hops += 1
+                push(events, (t + link_ns, next(seq), 1, item[5], pkt,
+                              False))
+                if port_queued[eid]:
+                    # RR over VCs, no buffer checks (unbounded mode).
+                    qs = port_queues[eid]
+                    start = port_rr[eid]
+                    for off in range(1, n_vcs + 1):
+                        vc = (start + off) % n_vcs
+                        q = qs[vc]
+                        if q:
+                            head_pkt, head_next = q.popleft()
+                            port_queued[eid] -= 1
+                            port_rr[eid] = vc
+                            push(events,
+                                 (t + head_pkt.size * ns_per_byte,
+                                  next(seq), 2, eid, head_pkt, head_next,
+                                  vc))
+                            break
+                else:
+                    port_busy[eid] = False
+            elif kind == 4:  # _INJECT
+                item[3].fire(self, t)
+            elif kind == 0:  # _NIC_DONE
+                ep = item[3]
+                push(events, (t + link_ns, next(seq), 1, ep // conc,
+                              item[4], True))
+                q = nic_queues[ep]
+                if q:
+                    nxt_pkt = q.popleft()
+                    push(events, (t + nxt_pkt.size * ns_per_byte,
+                                  next(seq), 0, ep, nxt_pkt))
+                else:
+                    nic_busy[ep] = False
+            elif kind == 3:  # _EJECT_DONE
+                ep = item[3]
+                pkt = item[4]
+                t_deliver = t + link_ns
+                latencies.append(t_deliver - pkt.t_created)
+                hop_counts.append(pkt.hops)
+                stats.bytes_delivered += pkt.size
+                if t_deliver > stats.t_last_delivery:
+                    stats.t_last_delivery = t_deliver
+                if self.on_delivery is not None:
+                    self.on_delivery(pkt, t_deliver)
+                q = ej_queues[ep]
+                if q:
+                    nxt_pkt = q.popleft()
+                    push(events, (t + nxt_pkt.size * ns_per_byte,
+                                  next(seq), 3, ep, nxt_pkt))
+                else:
+                    ej_busy[ep] = False
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind}")
+        return n_ev
 
-    def _nic_done(self, payload, t: float) -> None:
-        ep, pkt = payload
+    # Every handler takes (item, t): the full event tuple plus its time.
+    def _fire_source(self, item, t: float) -> None:
+        item[3].fire(self, t)
+
+    def _nic_done(self, item, t: float) -> None:
+        ep = item[3]
+        events = self._events
         # Packet reaches its injection router after the cable delay.
-        self._push(t + self.config.link_latency_ns, _ARRIVE,
-                   (self.endpoint_router(ep), pkt, True))
+        heappush(events, (t + self._link_ns, next(self._seq), _ARRIVE,
+                          ep // self._conc, item[4], True))
         q = self._nic_queues[ep]
         if q:
             nxt = q.popleft()
-            self._push(t + nxt.size / self.config.bytes_per_ns, _NIC_DONE,
-                       (ep, nxt))
+            heappush(events, (t + nxt.size * self._ns_per_byte,
+                              next(self._seq), _NIC_DONE, ep, nxt))
         else:
             self._nic_busy[ep] = False
 
-    def _arrive(self, payload, t: float) -> None:
-        router, pkt, is_source = payload
+    def _arrive(self, item, t: float) -> None:
+        router = item[3]
+        pkt = item[4]
         if router == pkt.dst_router:
-            self._eject(router, pkt, t)
+            # -- ejection port (inlined _eject) ----------------------------
+            ep = pkt.dst_ep
+            if self._ej_busy[ep]:
+                self._ej_queues[ep].append(pkt)
+            else:
+                self._ej_busy[ep] = True
+                heappush(self._events,
+                         (t + self._switch_ns + pkt.size * self._ns_per_byte,
+                          next(self._seq), _EJECT_DONE, ep, pkt))
             return
-        if is_source:
-            self.routing.on_source(self, router, pkt)
+        routing = self.routing
+        if item[5]:  # is_source
+            routing.on_source(self, router, pkt)
             if pkt.intermediate is not None:
                 self.stats.valiant_choices += 1
             else:
                 self.stats.minimal_choices += 1
-        nxt = self.routing.next_hop(self, router, pkt)
-        eid = self.tables.directed_edge_id(router, nxt)
-        t_ready = t + self.config.switch_latency_ns
-        vc = min(pkt.hops, self.n_vcs - 1)
-        self._enqueue_port(eid, nxt, pkt, vc, t_ready)
-
-    def _enqueue_port(self, eid: int, next_router: int, pkt: Packet, vc: int,
-                      t: float) -> None:
-        self._port_bytes[eid] += pkt.size
-        if self._port_bytes[eid] > self.stats.max_queue_bytes:
-            self.stats.max_queue_bytes = int(self._port_bytes[eid])
+        nxt = routing.next_hop(self, router, pkt)
+        eid = self._edge_index[router * self.n_routers + nxt]
+        vc = pkt.hops
+        n_vcs = self.n_vcs
+        if vc >= n_vcs:
+            vc = n_vcs - 1
+        # -- enqueue on the output port (inlined: hottest branch) ----------
+        size = pkt.size
+        port_bytes = self._port_bytes
+        queued = port_bytes[eid] + size
+        port_bytes[eid] = queued
+        stats = self.stats
+        if queued > stats.max_queue_bytes:
+            stats.max_queue_bytes = queued
+        t_ready = t + self._switch_ns
         if not self._port_busy[eid] and self._buf_used is None:
             # Fast path: idle port, unbounded buffers.
             self._port_busy[eid] = True
-            self._push(t + pkt.size / self.config.bytes_per_ns, _PORT_DONE,
-                       (eid, pkt, next_router, vc))
+            heappush(self._events,
+                     (t_ready + size * self._ns_per_byte, next(self._seq),
+                      _PORT_DONE, eid, pkt, nxt, vc))
             return
         qs = self._port_queues[eid]
         if qs is None:
-            qs = [deque() for _ in range(self.n_vcs)]
-            self._port_queues[eid] = qs
-        qs[vc].append((pkt, next_router))
+            qs = self._port_queues[eid] = [deque() for _ in range(n_vcs)]
+        qs[vc].append((pkt, nxt))
+        self._port_queued[eid] += 1
         if not self._port_busy[eid]:
-            self._try_start(eid, t)
+            self._try_start(eid, t_ready)
 
     def _buffer_has_room(self, eid: int, vc: int, size: int) -> bool:
         used = int(self._buf_used[eid, vc])
@@ -271,23 +490,29 @@ class NetworkSimulator:
         qs = self._port_queues[eid]
         if qs is None:
             return
-        start = int(self._port_rr[eid])
-        for off in range(1, self.n_vcs + 1):
-            vc = (start + off) % self.n_vcs
-            if not qs[vc]:
+        n_vcs = self.n_vcs
+        start = self._port_rr[eid]
+        buf_used = self._buf_used
+        for off in range(1, n_vcs + 1):
+            vc = (start + off) % n_vcs
+            q = qs[vc]
+            if not q:
                 continue
-            head_pkt, head_next = qs[vc][0]
-            if self._buf_used is not None and not self._buffer_has_room(
+            head_pkt, head_next = q[0]
+            if buf_used is not None and not self._buffer_has_room(
                 eid, vc, head_pkt.size
             ):
                 continue
-            qs[vc].popleft()
+            q.popleft()
+            self._port_queued[eid] -= 1
             self._port_rr[eid] = vc
             self._port_busy[eid] = True
-            if self._buf_used is not None:
-                self._buf_used[eid, vc] += head_pkt.size
-            self._push(t + head_pkt.size / self.config.bytes_per_ns,
-                       _PORT_DONE, (eid, head_pkt, head_next, vc))
+            if buf_used is not None:
+                buf_used[eid, vc] += head_pkt.size
+            heappush(self._events,
+                     (t + head_pkt.size * self._ns_per_byte,
+                      next(self._seq), _PORT_DONE, eid, head_pkt, head_next,
+                      vc))
             return
 
     def _release_buffer(self, pkt: Packet, t: float) -> None:
@@ -298,48 +523,46 @@ class NetworkSimulator:
         self._try_start(pkt.occupies_edge, t)
         pkt.occupies_edge = -1
 
-    def _port_done(self, payload, t: float) -> None:
-        eid, pkt, next_router, vc = payload
+    def _port_done(self, item, t: float) -> None:
+        eid = item[3]
+        pkt = item[4]
         self._port_bytes[eid] -= pkt.size
         pkt.hops += 1
         # The packet has fully left the previous router: release the input
         # buffer it was holding there and occupy the one it just filled.
-        self._release_buffer(pkt, t)
         if self._buf_used is not None:
+            self._release_buffer(pkt, t)
             pkt.occupies_edge = eid
-            pkt.occupies_vc = vc
-        self._push(t + self.config.link_latency_ns, _ARRIVE,
-                   (next_router, pkt, False))
+            pkt.occupies_vc = item[6]
+        heappush(self._events, (t + self._link_ns, next(self._seq), _ARRIVE,
+                                item[5], pkt, False))
         self._port_busy[eid] = False
-        self._try_start(eid, t)
+        if self._port_queued[eid]:
+            self._try_start(eid, t)
 
-    def _eject(self, router: int, pkt: Packet, t: float) -> None:
-        ep = pkt.dst_ep
-        t_ready = t + self.config.switch_latency_ns
-        if self._ej_busy[ep]:
-            self._ej_queues[ep].append(pkt)
-        else:
-            self._ej_busy[ep] = True
-            self._push(t_ready + pkt.size / self.config.bytes_per_ns,
-                       _EJECT_DONE, (ep, pkt))
-
-    def _eject_done(self, payload, t: float) -> None:
-        ep, pkt = payload
-        self._release_buffer(pkt, t)
-        t_deliver = t + self.config.link_latency_ns
-        self.stats.record_delivery(
-            t_deliver - pkt.t_created, pkt.hops, pkt.size, t_deliver
-        )
+    def _eject_done(self, item, t: float) -> None:
+        ep = item[3]
+        pkt = item[4]
+        if self._buf_used is not None:
+            self._release_buffer(pkt, t)
+        t_deliver = t + self._link_ns
+        stats = self.stats
+        stats.latencies_ns.append(t_deliver - pkt.t_created)
+        stats.hops.append(pkt.hops)
+        stats.bytes_delivered += pkt.size
+        if t_deliver > stats.t_last_delivery:
+            stats.t_last_delivery = t_deliver
         if self.on_delivery is not None:
             self.on_delivery(pkt, t_deliver)
         q = self._ej_queues[ep]
         if q:
             nxt = q.popleft()
-            self._push(t + nxt.size / self.config.bytes_per_ns, _EJECT_DONE,
-                       (ep, nxt))
+            heappush(self._events,
+                     (t + nxt.size * self._ns_per_byte, next(self._seq),
+                      _EJECT_DONE, ep, nxt))
         else:
             self._ej_busy[ep] = False
 
     # Used by traffic sources to schedule their own firings.
     def schedule_inject(self, t: float, source) -> None:
-        self._push(t, _INJECT, (source,))
+        heappush(self._events, (t, next(self._seq), _INJECT, source))

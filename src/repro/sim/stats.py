@@ -22,12 +22,15 @@ class SimStats:
     minimal_choices: int = 0
     deadlocked: bool = False
     undelivered: int = 0
+    #: Events processed by ``NetworkSimulator.run`` (perf accounting only;
+    #: deliberately kept out of :meth:`summary` so result tables are
+    #: unchanged).
+    n_events: int = 0
 
-    def record_delivery(self, latency_ns: float, hops: int, size: int, t: float) -> None:
-        self.latencies_ns.append(latency_ns)
-        self.hops.append(hops)
-        self.bytes_delivered += size
-        self.t_last_delivery = max(self.t_last_delivery, t)
+    # Delivery accounting (latencies_ns/hops appends, bytes_delivered,
+    # t_last_delivery) is inlined at the simulator's two eject sites —
+    # NetworkSimulator._eject_done and the _run_fast eject branch — which
+    # must be kept in sync with each other (a test pins their equivalence).
 
     def summary(self) -> dict:
         """Headline metrics: the paper's 'maximum time taken across all the

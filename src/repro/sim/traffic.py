@@ -15,9 +15,12 @@ of the endpoint link bandwidth, the paper's congestion knob.
 
 from __future__ import annotations
 
+from heapq import heappush
+
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.sim.network import _INJECT
 from repro.utils.rng import as_rng
 
 
@@ -29,9 +32,20 @@ def _require_pow2(n_ranks: int) -> int:
 
 
 class TrafficPattern:
-    """Base: rank-to-rank destination map."""
+    """Base: rank-to-rank destination map.
+
+    ``stochastic`` tells :class:`OpenLoopSource` whether :meth:`destination`
+    consumes randomness per packet.  It defaults to True — the safe
+    assumption for subclasses, which then keep the one-``destination``-call-
+    per-packet contract.  Patterns declaring ``stochastic = False`` get
+    their single fixed destination resolved once per source; stochastic
+    patterns may additionally override :meth:`destination_from_u` to accept
+    a pre-drawn uniform instead of paying one generator call per packet
+    (see ``docs/performance.md``).
+    """
 
     name = "abstract"
+    stochastic = True
 
     def __init__(self, n_ranks: int) -> None:
         self.n_ranks = n_ranks
@@ -39,17 +53,32 @@ class TrafficPattern:
     def destination(self, src: int, rng: np.random.Generator) -> int:
         raise NotImplementedError
 
+    def destination_from_u(self, src: int, u: float) -> int:
+        """Destination given one pre-drawn uniform in [0, 1).
+
+        Optional fast path: stochastic patterns that override this
+        (consistently with :meth:`destination`) let the open-loop source
+        batch its destination draws.
+        """
+        raise NotImplementedError
+
 
 class UniformRandomTraffic(TrafficPattern):
     name = "random"
+    stochastic = True
 
     def destination(self, src: int, rng: np.random.Generator) -> int:
         dst = int(rng.integers(self.n_ranks - 1))
         return dst if dst < src else dst + 1  # uniform over ranks != src
 
+    def destination_from_u(self, src: int, u: float) -> int:
+        dst = int(u * (self.n_ranks - 1))
+        return dst if dst < src else dst + 1  # uniform over ranks != src
+
 
 class BitShuffleTraffic(TrafficPattern):
     name = "shuffle"
+    stochastic = False
 
     def __init__(self, n_ranks: int) -> None:
         super().__init__(n_ranks)
@@ -62,6 +91,7 @@ class BitShuffleTraffic(TrafficPattern):
 
 class BitReverseTraffic(TrafficPattern):
     name = "reverse"
+    stochastic = False
 
     def __init__(self, n_ranks: int) -> None:
         super().__init__(n_ranks)
@@ -77,6 +107,7 @@ class BitReverseTraffic(TrafficPattern):
 
 class TransposeTraffic(TrafficPattern):
     name = "transpose"
+    stochastic = False
 
     def __init__(self, n_ranks: int) -> None:
         super().__init__(n_ranks)
@@ -91,6 +122,7 @@ class TransposeTraffic(TrafficPattern):
 
 class BitComplementTraffic(TrafficPattern):
     name = "complement"
+    stochastic = False
 
     def __init__(self, n_ranks: int) -> None:
         super().__init__(n_ranks)
@@ -106,6 +138,7 @@ class TornadoTraffic(TrafficPattern):
     permutation, which is part of the SpectralFly story."""
 
     name = "tornado"
+    stochastic = False
 
     def destination(self, src: int, rng: np.random.Generator) -> int:  # noqa: ARG002
         return (src + (self.n_ranks + 1) // 2 - 1) % self.n_ranks
@@ -116,6 +149,7 @@ class NearestNeighborTraffic(TrafficPattern):
     low-stress baseline in sweeps."""
 
     name = "neighbor"
+    stochastic = False
 
     def destination(self, src: int, rng: np.random.Generator) -> int:  # noqa: ARG002
         return (src + 1) % self.n_ranks
@@ -175,14 +209,59 @@ class OpenLoopSource:
             self.offered_load * net.config.bytes_per_ns
         )
         self._mean_gap = mean_gap
-        net.schedule_inject(float(self.rng.exponential(mean_gap)), self)
+        if self.remaining <= 0:
+            return
+        # Pre-draw every interarrival gap (and, for stochastic patterns,
+        # every destination uniform) in one generator call each: one
+        # ``rng.exponential(size=k)`` costs about as much as two scalar
+        # draws.  Draw order differs from one-draw-per-fire, statistics
+        # do not; runs stay deterministic per seed.
+        self._gaps = self.rng.exponential(mean_gap, size=self.remaining).tolist()
+        self._gap_i = 0
+        pattern = self.pattern
+        # Pre-drawn destination uniforms only for stochastic patterns that
+        # opted into the batched fast path by overriding destination_from_u;
+        # other stochastic subclasses keep the legacy one-destination()-call-
+        # per-packet contract.
+        batched = (
+            pattern.stochastic
+            and type(pattern).destination_from_u
+            is not TrafficPattern.destination_from_u
+        )
+        self._dst_u = (
+            self.rng.random(self.remaining).tolist() if batched else None
+        )
+        self._ep_of_rank = (
+            self.rank_to_endpoint.tolist()
+            if isinstance(self.rank_to_endpoint, np.ndarray)
+            else list(self.rank_to_endpoint)
+        )
+        # Deterministic patterns map each rank to one fixed destination:
+        # resolve it once instead of once per packet.
+        self._fixed_dst_ep = (
+            None
+            if pattern.stochastic
+            else self._ep_of_rank[pattern.destination(self.rank, self.rng)]
+        )
+        net.schedule_inject(self._gaps[0], self)
 
     def fire(self, net, t: float) -> None:
         if self.remaining <= 0:
             return
         self.remaining -= 1
-        dst_rank = self.pattern.destination(self.rank, self.rng)
-        dst_ep = int(self.rank_to_endpoint[dst_rank])
+        i = self._gap_i
+        dst_ep = self._fixed_dst_ep
+        if dst_ep is None:
+            if self._dst_u is not None:
+                dst_rank = self.pattern.destination_from_u(
+                    self.rank, self._dst_u[i]
+                )
+            else:  # stochastic pattern without the batched fast path
+                dst_rank = self.pattern.destination(self.rank, self.rng)
+            dst_ep = self._ep_of_rank[dst_rank]
         net.send(self.endpoint, dst_ep, t=t)
         if self.remaining > 0:
-            net.schedule_inject(t + float(self.rng.exponential(self._mean_gap)), self)
+            self._gap_i = i + 1
+            # Inlined net.schedule_inject (one call per packet saved).
+            heappush(net._events, (t + self._gaps[i + 1], next(net._seq),
+                                   _INJECT, self))

@@ -1,0 +1,196 @@
+"""Simulator fast-path guarantees: determinism, resume, loop equivalence.
+
+Three properties the perf work must never regress:
+
+* fixed seed => byte-identical :class:`SimStats` across fresh runs, for
+  every routing policy;
+* ``run(until=...)`` then ``run()`` == one uninterrupted ``run()`` (the
+  paused run must not lose the event it popped past ``until``);
+* the inlined hot loop (``_run_fast``) and the handler-dispatch loop
+  produce identical results;
+* the hot-path data structures stay allocation-lean (no ``Packet.__dict__``,
+  plain-tuple events).
+"""
+
+import numpy as np
+import pytest
+
+from repro.routing import RoutingTables, make_routing
+from repro.sim import NetworkSimulator, Packet, SimConfig
+from repro.topology import build_lps
+
+ROUTINGS = ["minimal", "valiant", "ugal", "ugal-g"]
+
+
+@pytest.fixture(scope="module")
+def parts():
+    topo = build_lps(3, 5)  # 120 routers, radix 4
+    tables = RoutingTables(topo.graph)
+    return topo, tables
+
+
+def _loaded_net(topo, tables, routing, seed=0, n_msgs=250):
+    cfg = SimConfig(concentration=2)
+    net = NetworkSimulator(topo, make_routing(routing, tables, seed=seed),
+                           cfg, tables=tables)
+    rng = np.random.default_rng(seed + 99)
+    for _ in range(n_msgs):
+        s, d = rng.integers(0, net.n_endpoints, 2)
+        if s != d:
+            net.send(int(s), int(d))
+    return net
+
+
+def _stats_tuple(stats):
+    """Every per-packet observable, for byte-identical comparison."""
+    return (
+        stats.latencies_ns,
+        stats.hops,
+        stats.bytes_delivered,
+        stats.n_injected,
+        stats.max_queue_bytes,
+        stats.valiant_choices,
+        stats.minimal_choices,
+        stats.t_first_inject,
+        stats.t_last_delivery,
+        stats.n_events,
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("routing", ROUTINGS)
+    def test_same_seed_byte_identical(self, parts, routing):
+        topo, tables = parts
+        a = _loaded_net(topo, tables, routing).run()
+        b = _loaded_net(topo, tables, routing).run()
+        assert _stats_tuple(a) == _stats_tuple(b)
+
+    @pytest.mark.parametrize("routing", ["minimal", "ugal"])
+    def test_different_seed_differs(self, parts, routing):
+        # Sanity: the determinism above is not vacuous.
+        topo, tables = parts
+        a = _loaded_net(topo, tables, routing, seed=0).run()
+        b = _loaded_net(topo, tables, routing, seed=1).run()
+        assert a.latencies_ns != b.latencies_ns
+
+
+class TestRunUntilResume:
+    @pytest.mark.parametrize("routing", ["minimal", "ugal"])
+    def test_pause_and_drain_matches_uninterrupted(self, parts, routing):
+        topo, tables = parts
+        reference = _loaded_net(topo, tables, routing).run()
+        paused = _loaded_net(topo, tables, routing)
+        # Pause mid-simulation: several events remain past the cut.
+        t_cut = reference.t_last_delivery / 2.0
+        paused.run(until=t_cut)
+        assert len(paused.stats.latencies_ns) < len(reference.latencies_ns)
+        paused.run()  # drain the rest
+        assert _stats_tuple(paused.stats) == _stats_tuple(reference)
+
+    def test_pause_resume_with_open_loop_sources(self, parts):
+        # Regression: run() must not re-start() already-started sources on
+        # resume (that would schedule a duplicate injection chain).
+        from repro.sim import make_traffic, place_ranks
+        from repro.sim.traffic import OpenLoopSource
+
+        topo, tables = parts
+
+        def build():
+            cfg = SimConfig(concentration=2)
+            net = NetworkSimulator(topo, make_routing("minimal", tables),
+                                   cfg, tables=tables)
+            n_ranks = 64
+            r2e = place_ranks(n_ranks, net.n_endpoints, seed=5)
+            pat = make_traffic("random", n_ranks)
+            for rank in range(n_ranks):
+                net.add_open_loop_source(
+                    OpenLoopSource(rank, int(r2e[rank]), pat, r2e, 0.4, 6,
+                                   seed=rank)
+                )
+            return net
+
+        reference = build().run()
+        paused = build()
+        paused.run(until=reference.t_last_delivery / 2.0)
+        paused.run()
+        assert _stats_tuple(paused.stats) == _stats_tuple(reference)
+        assert paused.stats.n_injected == 64 * 6
+
+    def test_until_does_not_lose_the_boundary_event(self, parts):
+        # Regression for the popped-then-dropped event: pausing exactly
+        # between two events and resuming must still deliver everything.
+        topo, tables = parts
+        net = _loaded_net(topo, tables, "minimal", n_msgs=40)
+        net.run(until=1.0)  # before any packet clears its NIC
+        n_before = len(net._events)
+        assert n_before > 0
+        net.run()
+        assert len(net.stats.latencies_ns) == net.stats.n_injected
+
+
+class TestLoopEquivalence:
+    @pytest.mark.parametrize("routing", ROUTINGS)
+    def test_fast_loop_matches_handler_loop(self, parts, routing):
+        # run() uses the inlined hot loop; run(until=inf) the handler
+        # dispatch.  They must be event-for-event identical.
+        topo, tables = parts
+        fast = _loaded_net(topo, tables, routing).run()
+        general = _loaded_net(topo, tables, routing).run(until=float("inf"))
+        assert _stats_tuple(fast) == _stats_tuple(general)
+
+
+class TestTrafficPatternContract:
+    def test_stochastic_subclass_keeps_per_packet_destinations(self, parts):
+        # A pattern written against the old contract (per-packet randomness
+        # in destination(), no stochastic/destination_from_u declarations)
+        # must NOT get its destination frozen by the fast path.
+        from repro.sim import make_traffic, place_ranks
+        from repro.sim.traffic import OpenLoopSource, TrafficPattern
+
+        class TwoHotspots(TrafficPattern):
+            name = "two-hotspots"
+
+            def destination(self, src, rng):  # noqa: ARG002
+                return int(rng.integers(2))  # rank 0 or 1, per packet
+
+        topo, tables = parts
+        cfg = SimConfig(concentration=2)
+        net = NetworkSimulator(topo, make_routing("minimal", tables), cfg,
+                               tables=tables)
+        r2e = place_ranks(8, net.n_endpoints, seed=11)
+        seen = set()
+        net.on_delivery = lambda pkt, t: seen.add(pkt.dst_ep)
+        net.add_open_loop_source(
+            OpenLoopSource(5, int(r2e[5]), TwoHotspots(8), r2e, 0.5, 40,
+                           seed=13)
+        )
+        net.run()
+        assert len(net.stats.latencies_ns) == 40
+        assert seen == {int(r2e[0]), int(r2e[1])}  # both hotspots reached
+
+
+class TestAllocationLean:
+    def test_packet_has_no_dict(self):
+        pkt = Packet(0, 1, 2, 4096, 0.0, 1)
+        assert not hasattr(pkt, "__dict__")
+        assert not hasattr(Packet, "__dict__") or "__slots__" in vars(Packet)
+        with pytest.raises(AttributeError):
+            pkt.some_new_attribute = 1
+
+    def test_event_tuples_are_plain_tuples(self, parts):
+        topo, tables = parts
+        net = _loaded_net(topo, tables, "minimal", n_msgs=300)
+        net.run(until=500.0)  # pause early: events still in flight
+        assert net._events, "expected in-flight events"
+        for item in net._events:
+            assert type(item) is tuple
+            assert type(item[0]) is float and type(item[2]) is int
+
+    def test_port_state_is_plain_lists(self, parts):
+        # numpy scalar indexing on these would silently reintroduce the
+        # slow path; pin the types.
+        topo, tables = parts
+        net = _loaded_net(topo, tables, "minimal", n_msgs=10)
+        for attr in ("_port_busy", "_port_bytes", "_port_rr", "_port_queued",
+                     "_nic_busy", "_ej_busy"):
+            assert type(getattr(net, attr)) is list, attr

@@ -101,8 +101,8 @@ class TestQueueAccounting:
             if s != d:
                 net.send(int(s), int(d))
         net.run()
-        assert net._port_bytes.sum() == 0
-        assert not net._port_busy.any()
+        assert sum(net._port_bytes) == 0
+        assert not any(net._port_busy)
 
     def test_max_queue_recorded_under_hotspot(self, small_net_parts):
         topo, tables = small_net_parts
