@@ -15,3 +15,16 @@ class ConstructionError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The network simulator reached an inconsistent state."""
+
+
+class CellExecutionError(ReproError, RuntimeError):
+    """A sweep cell's driver raised.
+
+    Carries the failing cell's :class:`~repro.runner.spec.ExperimentSpec`
+    as ``spec`` so callers can tell exactly which point of a sweep died;
+    the original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, spec=None) -> None:
+        super().__init__(message)
+        self.spec = spec

@@ -109,19 +109,22 @@ def build_synthetic_sim(
     packets_per_rank: int = 20,
     seed: int = 0,
     config: SimConfig | None = None,
+    faults=None,
 ) -> NetworkSimulator:
     """Assemble (but do not run) one open-loop synthetic-traffic simulation.
 
     Split out of :func:`run_synthetic_sim` so the perf benchmarks
     (``repro.runner.bench``) can time ``net.run()`` alone, excluding
-    topology construction and table building.
+    topology construction and table building.  ``faults`` optionally
+    attaches a :class:`~repro.sim.faults.FaultSchedule` (the
+    ``resilience-traffic`` experiments).
     """
     cfg = config or SimConfig(concentration=concentration)
     if config is None:
         cfg.concentration = concentration
     tables = cached_tables(topo)
     routing = make_routing(routing_name, tables, seed=seed)
-    net = NetworkSimulator(topo, routing, cfg, tables=tables)
+    net = NetworkSimulator(topo, routing, cfg, tables=tables, faults=faults)
     rank_to_ep = place_ranks(n_ranks, net.n_endpoints, seed=seed + 1)
     pattern = make_traffic(pattern_name, n_ranks)
     for rank in range(n_ranks):

@@ -17,10 +17,16 @@ from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_rng
 
 
-def delete_random_edges(
+def sample_edge_failures(
     g: CSRGraph, proportion: float, seed: int | np.random.Generator | None = 0
-) -> CSRGraph:
-    """Return a copy of ``g`` with ``proportion`` of its edges removed."""
+) -> np.ndarray:
+    """Draw the undirected edges that fail at ``proportion``, as an (r, 2) array.
+
+    This is the single sampling primitive shared by the offline study
+    (:func:`delete_random_edges`) and the dynamic fault schedules
+    (:meth:`repro.sim.faults.FaultSchedule.random_link_faults`): at the same
+    seed both damage the same links.
+    """
     if not 0.0 <= proportion < 1.0:
         raise ValueError("proportion must be in [0, 1)")
     rng = as_rng(seed)
@@ -28,10 +34,19 @@ def delete_random_edges(
     m = len(edges)
     n_remove = int(round(proportion * m))
     if n_remove == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    chosen = rng.choice(m, size=n_remove, replace=False)
+    return edges[np.sort(chosen)]
+
+
+def delete_random_edges(
+    g: CSRGraph, proportion: float, seed: int | np.random.Generator | None = 0
+) -> CSRGraph:
+    """Return a copy of ``g`` with ``proportion`` of its edges removed."""
+    removed = sample_edge_failures(g, proportion, seed)
+    if len(removed) == 0:
         return g
-    keep = np.ones(m, dtype=bool)
-    keep[rng.choice(m, size=n_remove, replace=False)] = False
-    return CSRGraph.from_edges(g.n, edges[keep])
+    return g.without_edges(removed)
 
 
 def resilience_trials(
@@ -54,10 +69,26 @@ def resilience_trials(
     below the disconnection threshold, where this is rare).
 
     Returns ``(mean, total_trials_used)``.
+
+    RNG contract
+    ------------
+    Every trial draws its failed-edge set from its **own spawned substream**
+    of the seed, so a trial's draws depend only on (seed, call, trial
+    index) — never on how many values an earlier trial consumed (e.g.
+    disconnected-graph redraws) or on anything the metric does with a
+    shared generator.  When ``seed`` is an existing ``Generator`` (the
+    pattern ``fig5`` uses to decorrelate metrics), each call consumes
+    exactly **one** spawn from it regardless of how many trials it runs, so
+    adding a metric after existing ones — or a metric converging slower and
+    escalating its trial count — cannot perturb any other call's trial
+    draws (regression-tested in ``tests/test_graphs_failures.py``).
     """
     from repro.graphs.metrics import is_connected
 
     rng = as_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        # One spawn per call, however many trials end up running.
+        rng = rng.spawn(1)[0]
     x = initial_trials
     while True:
         batch_means = np.empty(batches)
@@ -65,8 +96,9 @@ def resilience_trials(
         for b in range(batches):
             vals = np.empty(x)
             for t in range(x):
+                trial_rng = rng.spawn(1)[0]
                 for _redraw in range(50):
-                    trial = delete_random_edges(g, proportion, rng)
+                    trial = delete_random_edges(g, proportion, trial_rng)
                     if not require_connected or is_connected(trial):
                         break
                 else:

@@ -1,6 +1,6 @@
 """Routing algorithms: minimal (multi-path), Valiant, and UGAL-L (Section V)."""
 
-from repro.routing.tables import RoutingTables
+from repro.routing.tables import FaultMask, RoutingTables
 from repro.routing.algorithms import (
     MinimalRouting,
     RoutingPolicy,
@@ -16,6 +16,7 @@ from repro.routing.vc import (
 
 __all__ = [
     "RoutingTables",
+    "FaultMask",
     "RoutingPolicy",
     "MinimalRouting",
     "ValiantRouting",

@@ -132,6 +132,53 @@ class RoutingPolicy:
             return pkt.intermediate
         return pkt.dst_router
 
+    # -- fault-aware forwarding ---------------------------------------------
+    def next_hop_degraded(self, net, router: int, pkt) -> int:
+        """``next_hop`` against the simulator's live :class:`FaultMask`.
+
+        Used by the handler path whenever a fault schedule is attached
+        (the inlined fast loop bails out in that case).  Differences from
+        the pristine path, in order:
+
+        * a dead Valiant intermediate is abandoned — the packet heads
+          straight for its destination;
+        * minimal candidates are filtered to live links
+          (:meth:`FaultMask.live_min_candidates`);
+        * when the minimal set is fully severed, forwarding falls back to
+          the live neighbour(s) greedily closest to the waypoint under the
+          stale distance metric (counted in ``stats.nonminimal_hops``; the
+          simulator's hop TTL bounds the walk);
+        * returns ``-1`` when the router has no live outgoing link at all —
+          the simulator drops the packet.
+
+        Shared by all policies: the adaptive decision (UGAL) already
+        happened in ``on_source``; per-hop forwarding only ever needs the
+        waypoint and the live candidate set.
+        """
+        if pkt.intermediate is not None and pkt.phase == 0:
+            mask = net._fault_mask
+            if not mask.router_alive(pkt.intermediate):
+                pkt.intermediate = None
+                dst = pkt.dst_router
+            elif router == pkt.intermediate:
+                pkt.phase = 1
+                dst = pkt.dst_router
+            else:
+                dst = pkt.intermediate
+        else:
+            mask = net._fault_mask
+            dst = pkt.dst_router
+        cands = mask.live_min_candidates(router, dst)
+        if not cands:
+            cands = mask.fallback_candidates(router, dst)
+            if not cands:
+                return -1
+            net.stats.nonminimal_hops += 1
+        k = len(cands)
+        if k == 1:
+            return cands[0]
+        return cands[int(self._rand01() * k)]
+
 
 class MinimalRouting(RoutingPolicy):
     """Shortest-path routing with uniform random tie-breaks."""

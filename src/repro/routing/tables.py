@@ -180,3 +180,164 @@ class RoutingTables:
         lo = self._nh_indptr[k]
         hi = self._nh_indptr[k + 1]
         return np.asarray(self._nh_indices[lo:hi], dtype=np.int32)
+
+    def fault_mask(self) -> "FaultMask":
+        """A fresh incremental fault overlay on this table (pristine)."""
+        return FaultMask(self)
+
+
+class FaultMask:
+    """Reversible link/router fault overlay on a :class:`RoutingTables`.
+
+    Failing a link *masks* its two directed edges out of the flat next-hop
+    table at query time instead of recomputing BFS: the underlying arrays
+    are never touched, so recovery is exact (bit-for-bit — a property test
+    pins ``live_min_candidates`` back to :meth:`RoutingTables.table_next_hops`
+    after full restoration) and each fault/recovery is O(1).
+
+    Distances deliberately stay **stale**: like a real network running on
+    tables computed before the fault, minimal candidates that survive are
+    still truly minimal for mild damage, and when every minimal candidate
+    of a ``(router, destination)`` pair is severed,
+    :meth:`fallback_candidates` offers the live neighbours greedily closest
+    to the destination under the stale metric (the simulator bounds the
+    resulting non-minimal walks with a hop TTL).
+
+    Failure counts per directed edge (not booleans) make independently
+    failed links compose with router failures: failing a router increments
+    every incident directed edge, so restoring the router cannot resurrect
+    a link that was also failed on its own.
+    """
+
+    def __init__(self, tables: RoutingTables) -> None:
+        tables.build_fast_path()
+        self.tables = tables
+        g = tables.graph
+        self._n = tables.n
+        self._edge_index = tables.edge_index
+        self._nh_indptr = tables._nh_indptr
+        self._nh_indices = tables._nh_indices
+        self._dist_flat = tables.dist_flat
+        self._indptr = tables._indptr_list
+        self._neighbors: list[list[int]] = [
+            g.neighbors(u).tolist() for u in range(self._n)
+        ]
+        #: failure multiplicity per directed edge id; alive iff 0.
+        self._dead_edge: list[int] = [0] * len(g.indices)
+        self._dead_router: list[bool] = [False] * self._n
+        self._n_dead = 0  # total failure multiplicity + dead routers
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def pristine(self) -> bool:
+        """True iff no link or router is currently failed."""
+        return self._n_dead == 0
+
+    def router_alive(self, r: int) -> bool:
+        return not self._dead_router[r]
+
+    def edge_alive(self, u: int, v: int) -> bool:
+        return not self._dead_edge[self._edge_index[u * self._n + v]]
+
+    def _directed_ids(self, u: int, v: int) -> tuple[int, int]:
+        n = self._n
+        ei = self._edge_index
+        try:
+            return ei[u * n + v], ei[v * n + u]
+        except KeyError:
+            raise KeyError(f"no link {u} <-> {v}") from None
+
+    # -- mutation ------------------------------------------------------------
+    def fail_link(self, u: int, v: int) -> list[int]:
+        """Fail the undirected link u-v; returns the newly dead directed ids."""
+        newly = []
+        for eid in self._directed_ids(u, v):
+            self._dead_edge[eid] += 1
+            self._n_dead += 1
+            if self._dead_edge[eid] == 1:
+                newly.append(eid)
+        return newly
+
+    def restore_link(self, u: int, v: int) -> list[int]:
+        """Undo one failure of link u-v; returns the newly live directed ids."""
+        newly = []
+        for eid in self._directed_ids(u, v):
+            if self._dead_edge[eid] == 0:
+                raise ValueError(f"link {u}-{v} is not failed")
+            self._dead_edge[eid] -= 1
+            self._n_dead -= 1
+            if self._dead_edge[eid] == 0:
+                newly.append(eid)
+        return newly
+
+    def fail_router(self, r: int) -> list[int]:
+        """Fail router ``r`` and every incident link (both directions).
+
+        Returns the newly dead directed edge ids (for queue flushing).
+        """
+        if self._dead_router[r]:
+            raise ValueError(f"router {r} is already failed")
+        self._dead_router[r] = True
+        self._n_dead += 1
+        newly = []
+        for v in self._neighbors[r]:
+            newly.extend(self.fail_link(r, v))
+        return newly
+
+    def restore_router(self, r: int) -> list[int]:
+        """Undo a router failure; returns the newly live directed edge ids."""
+        if not self._dead_router[r]:
+            raise ValueError(f"router {r} is not failed")
+        self._dead_router[r] = False
+        self._n_dead -= 1
+        newly = []
+        for v in self._neighbors[r]:
+            newly.extend(self.restore_link(r, v))
+        return newly
+
+    # -- queries -------------------------------------------------------------
+    def live_min_candidates(self, u: int, d: int) -> list[int]:
+        """The minimal next hops of ``(u, d)`` whose outgoing link is live.
+
+        Router death implies incident-edge death (see :meth:`fail_router`),
+        so the edge check subsumes the router check.  Empty when the
+        minimal set is fully severed.
+        """
+        indptr = self._nh_indptr
+        k = u * self._n + d
+        lo = indptr[k]
+        hi = indptr[k + 1]
+        nh = self._nh_indices
+        dead = self._dead_edge
+        ei = self._edge_index
+        base = u * self._n
+        return [
+            int(v) for v in nh[lo:hi] if not dead[ei[base + int(v)]]
+        ]
+
+    def fallback_candidates(self, u: int, d: int) -> list[int]:
+        """Live neighbours of ``u`` closest to ``d`` under the stale metric.
+
+        The non-minimal escape hatch when :meth:`live_min_candidates` comes
+        back empty.  Empty iff ``u`` has no live outgoing link at all.
+        """
+        dead = self._dead_edge
+        dist = self._dist_flat
+        n = self._n
+        eid = self._indptr[u]
+        best = None
+        out: list[int] = []
+        for v in self._neighbors[u]:
+            if not dead[eid]:
+                d_v = int(dist[v * n + d])
+                if best is None or d_v < best:
+                    best = d_v
+                    out = [v]
+                elif d_v == best:
+                    out.append(v)
+            eid += 1
+        return out
+
+    def live_next_hops(self, u: int, d: int) -> np.ndarray:
+        """Array view of :meth:`live_min_candidates` (test hook)."""
+        return np.asarray(self.live_min_candidates(u, d), dtype=np.int32)

@@ -17,6 +17,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable
 
+from repro.errors import CellExecutionError
 from repro.experiments.common import ExperimentResult
 from repro.runner.registry import ExperimentDef, get_experiment
 from repro.runner.spec import CellOutcome, ExperimentSpec, RunReport
@@ -100,6 +101,16 @@ def _run_cells(
         if progress:
             progress(f"  [{i + 1}/{len(cells)}] {cells[i].name}: {seconds:.1f}s")
 
+    # Failure contract (tests/test_runner_executor.py): a cell whose driver
+    # raises must never reach cache.put (a poisoned entry would be served as
+    # a result forever), must not leave the pool hanging (pending cells are
+    # cancelled; in-flight ones finish with the context manager), and must
+    # surface as a CellExecutionError carrying the failing cell's spec.
+    def fail(i: int, exc: BaseException) -> CellExecutionError:
+        return CellExecutionError(
+            f"cell {cells[i].name} failed: {exc!r}", spec=cells[i]
+        )
+
     if misses and jobs > 1:
         src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
         with ProcessPoolExecutor(
@@ -117,12 +128,20 @@ def _run_cells(
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in done:
-                    result, seconds = fut.result()
+                    try:
+                        result, seconds = fut.result()
+                    except Exception as exc:
+                        for p in pending:
+                            p.cancel()
+                        raise fail(futures[fut], exc) from exc
                     record(futures[fut], result, seconds)
     else:
         for i in misses:
             t0 = time.perf_counter()
-            result = cells[i].execute()
+            try:
+                result = cells[i].execute()
+            except Exception as exc:
+                raise fail(i, exc) from exc
             record(i, result, time.perf_counter() - t0)
 
     return list(results), list(outcomes)  # type: ignore[arg-type]

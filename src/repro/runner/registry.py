@@ -343,6 +343,35 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         runtime="~2 min",
     ),
     ExperimentDef(
+        name="resilience-traffic",
+        title="Resilience under live traffic — mid-run link failures vs throughput/latency",
+        fn="repro.experiments.resilience_traffic:run",
+        presets={
+            "small": {
+                "scale": "small",
+                "families": ("SpectralFly", "DragonFly", "SlimFly", "BundleFly"),
+                "routings": ("minimal", "ugal"),
+                "fail_fractions": (0.0, 0.05, 0.15),
+                "packets_per_rank": 10,
+                "recover": True,
+            },
+            "full": {
+                "scale": "paper",
+                "families": ("SpectralFly", "DragonFly", "SlimFly", "BundleFly"),
+                "routings": ("minimal", "valiant", "ugal"),
+                "fail_fractions": (0.0, 0.05, 0.1, 0.2, 0.3),
+                "packets_per_rank": 20,
+                "recover": True,
+            },
+        },
+        # fail_fractions deliberately stays inside the cell: the driver
+        # normalises each (family, routing) group against its first
+        # fraction, which a per-fraction split would break.
+        cell_axes=("families", "routings"),
+        tags=("extension", "simulation", "resilience"),
+        runtime="~1 min",
+    ),
+    ExperimentDef(
         name="contention",
         title="Inter-job contention — the discrepancy-property claim",
         fn="repro.experiments.contention:run",

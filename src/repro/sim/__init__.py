@@ -7,6 +7,7 @@ while staying tractable in Python.
 """
 
 from repro.sim.packet import Packet
+from repro.sim.faults import FaultEvent, FaultSchedule
 from repro.sim.network import NetworkSimulator, SimConfig
 from repro.sim.traffic import (
     BitComplementTraffic,
@@ -24,6 +25,8 @@ __all__ = [
     "NetworkSimulator",
     "SimConfig",
     "SimStats",
+    "FaultEvent",
+    "FaultSchedule",
     "UniformRandomTraffic",
     "BitShuffleTraffic",
     "BitReverseTraffic",

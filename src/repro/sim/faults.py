@@ -1,0 +1,149 @@
+"""Dynamic fault schedules: link/router failures applied mid-simulation.
+
+The paper's Section IV-A resilience study (and the companion spectral-gap
+work of Aksoy et al.) measures *structural* metrics on statically damaged
+graphs.  This module supplies the missing dynamic half: a
+:class:`FaultSchedule` is a time-ordered list of link/router failure and
+recovery events that :class:`~repro.sim.network.NetworkSimulator` applies
+*while traffic is in flight*.
+
+Semantics (see ``docs/resilience.md`` for the full contract):
+
+* At a fault event's timestamp the simulator updates its
+  :class:`~repro.routing.tables.FaultMask` — an incremental, reversible
+  overlay on the CSR-of-CSR next-hop table — instead of recomputing BFS.
+* Packets queued on a failed output port are **requeued** through routing
+  at the upstream router; the packet mid-transmission on the failed link is
+  **dropped**.
+* Routing falls back to non-minimal live neighbours when every minimal
+  next hop is severed, and packets are dropped when the destination router
+  is dead, when no live neighbour exists, or when a hop-count TTL expires.
+
+All events at the same timestamp are applied before any packet scheduled at
+that timestamp is processed, so a multi-link fault is atomic with respect
+to traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.csr import CSRGraph
+
+#: Event kinds.  ``a``/``b`` are the link endpoints for link events;
+#: router events use ``a`` and leave ``b`` at -1.
+LINK_DOWN = "link-down"
+LINK_UP = "link-up"
+ROUTER_DOWN = "router-down"
+ROUTER_UP = "router-up"
+
+_KINDS = frozenset({LINK_DOWN, LINK_UP, ROUTER_DOWN, ROUTER_UP})
+
+
+class FaultEvent(NamedTuple):
+    """One scheduled topology change at simulation time ``t`` (ns)."""
+
+    t: float
+    kind: str
+    a: int
+    b: int = -1
+
+    def describe(self) -> str:
+        if self.kind in (LINK_DOWN, LINK_UP):
+            return f"t={self.t:.0f}ns {self.kind} {self.a}-{self.b}"
+        return f"t={self.t:.0f}ns {self.kind} {self.a}"
+
+
+class FaultSchedule:
+    """An immutable, time-sorted sequence of :class:`FaultEvent`.
+
+    Accepts ``FaultEvent`` instances or plain ``(t, kind, a[, b])`` tuples.
+    Events are stably sorted by time, so same-time events keep their given
+    order (failures listed first are applied first).
+    """
+
+    def __init__(self, events: Iterable[FaultEvent | tuple] = ()) -> None:
+        normalised = []
+        for ev in events:
+            if not isinstance(ev, FaultEvent):
+                ev = FaultEvent(*ev)
+            if ev.kind not in _KINDS:
+                raise ParameterError(
+                    f"unknown fault kind {ev.kind!r}; options {sorted(_KINDS)}"
+                )
+            if ev.t < 0:
+                raise ParameterError(f"fault time must be >= 0, got {ev.t}")
+            if ev.kind in (LINK_DOWN, LINK_UP) and ev.b < 0:
+                raise ParameterError(f"link event needs both endpoints: {ev}")
+            normalised.append(FaultEvent(float(ev.t), ev.kind, int(ev.a), int(ev.b)))
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(normalised, key=lambda e: e.t)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __getitem__(self, i: int) -> FaultEvent:
+        return self.events[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultSchedule({len(self.events)} events)"
+
+    def describe(self) -> str:
+        return "\n".join(ev.describe() for ev in self.events)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def random_link_faults(
+        cls,
+        graph: CSRGraph,
+        fraction: float,
+        t_fail: float,
+        seed: int | np.random.Generator | None = 0,
+        t_recover: float | None = None,
+    ) -> "FaultSchedule":
+        """Fail ``fraction`` of the undirected links at ``t_fail``.
+
+        The failed set is drawn exactly like the offline resilience study
+        (:func:`repro.graphs.failures.sample_edge_failures`), so dynamic
+        and static experiments at the same seed damage the same links.
+        ``t_recover`` (if given) restores every failed link at that time.
+        """
+        from repro.graphs.failures import sample_edge_failures
+
+        if t_recover is not None and t_recover <= t_fail:
+            raise ParameterError("t_recover must be after t_fail")
+        failed = sample_edge_failures(graph, fraction, seed)
+        events: list[FaultEvent] = []
+        for u, v in failed:
+            events.append(FaultEvent(t_fail, LINK_DOWN, int(u), int(v)))
+            if t_recover is not None:
+                events.append(FaultEvent(t_recover, LINK_UP, int(u), int(v)))
+        return cls(events)
+
+    @classmethod
+    def router_faults(
+        cls,
+        routers: Iterable[int],
+        t_fail: float,
+        t_recover: float | None = None,
+    ) -> "FaultSchedule":
+        """Fail the given routers at ``t_fail`` (and recover at ``t_recover``)."""
+        if t_recover is not None and t_recover <= t_fail:
+            raise ParameterError("t_recover must be after t_fail")
+        events: list[FaultEvent] = []
+        for r in routers:
+            events.append(FaultEvent(t_fail, ROUTER_DOWN, int(r)))
+            if t_recover is not None:
+                events.append(FaultEvent(t_recover, ROUTER_UP, int(r)))
+        return cls(events)
+
+    def merged(self, other: "FaultSchedule") -> "FaultSchedule":
+        """A new schedule combining this one's events with ``other``'s."""
+        return FaultSchedule(self.events + other.events)

@@ -37,8 +37,12 @@ import itertools
 from collections import deque
 from dataclasses import dataclass
 from heapq import heappush
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.faults import FaultSchedule
 
 from repro.errors import SimulationError
 from repro.routing.algorithms import RoutingPolicy
@@ -54,6 +58,7 @@ _ARRIVE = 1  # (t, seq, 1, router, pkt, is_source): packet fully at a router
 _PORT_DONE = 2  # (t, seq, 2, eid, pkt, next_router, vc): port finished
 _EJECT_DONE = 3  # (t, seq, 3, ep, pkt): delivered to the endpoint
 _INJECT = 4  # (t, seq, 4, source): open-loop traffic source fires
+_FAULT = 5  # (t, seq, 5, idx): apply fault-schedule event ``idx``
 
 
 @dataclass
@@ -93,6 +98,7 @@ class NetworkSimulator:
         routing: RoutingPolicy,
         config: SimConfig,
         tables: RoutingTables | None = None,
+        faults: "FaultSchedule | None" = None,
     ) -> None:
         self.topo = topo
         self.config = config
@@ -150,7 +156,51 @@ class NetworkSimulator:
             self._port_done,
             self._eject_done,
             self._fire_source,
+            self._apply_fault,
         )
+
+        # Fault-injection state; all None/0 until a schedule is attached
+        # (the pristine hot path never reads any of it).
+        self._fault_schedule = None
+        self._fault_mask = None
+        self._edge_head: list[int] | None = None  # directed eid -> upstream router
+        self._port_kill: list[int] | None = None  # pending mid-flight losses
+        self._ttl = 0
+        if faults is not None:
+            self.set_fault_schedule(faults)
+
+    def set_fault_schedule(self, schedule) -> None:
+        """Attach a :class:`~repro.sim.faults.FaultSchedule` to this run.
+
+        Must happen before any traffic is injected: fault events enter the
+        queue now, so their sequence numbers sort below every traffic
+        event's — all fault events at one timestamp apply before any packet
+        event at that timestamp, making multi-link faults atomic with
+        respect to traffic.
+
+        Attaching a schedule (even an empty one) switches ``run()`` from
+        the inlined fast loop to the handler path and every hop to
+        fault-aware forwarding (``RoutingPolicy.next_hop_degraded``); see
+        ``docs/resilience.md`` for the exact drop/requeue semantics.
+        """
+        if self._fault_schedule is not None:
+            raise SimulationError("a fault schedule is already attached")
+        if self._events or self.now > 0.0 or self.stats.n_events:
+            raise SimulationError(
+                "attach the fault schedule before injecting traffic or running"
+            )
+        self._fault_schedule = schedule
+        self._fault_mask = self.tables.fault_mask()
+        g = self.topo.graph
+        self._edge_head = np.repeat(
+            np.arange(g.n, dtype=np.int64), np.diff(g.indptr)
+        ).tolist()
+        self._port_kill = [0] * len(g.indices)
+        # Hop budget bounding non-minimal fallback walks: a packet that has
+        # wandered this far past any shortest path is livelocked.
+        self._ttl = 4 * self.tables.diameter + 16
+        for i, ev in enumerate(schedule.events):
+            heappush(self._events, (ev.t, next(self._seq), _FAULT, i))
 
     # -- public API --------------------------------------------------------
     def endpoint_router(self, ep: int) -> int:
@@ -223,13 +273,21 @@ class NetworkSimulator:
         handlers = self._handlers
         pop = heapq.heappop
         n_ev = 0
-        if until is None and max_events is None and self._buf_used is None:
+        if (
+            until is None
+            and max_events is None
+            and self._buf_used is None
+            and self._fault_schedule is None
+        ):
             # Default configuration: the fully inlined hot loop (one Python
             # frame per *run*, not per event).  tests/test_sim_fastpath.py
             # pins it event-for-event equal to the handler path below.
             n_ev = self._run_fast()
         elif until is None and max_events is None:
-            # Finite buffers: handler dispatch, no bound checks.
+            # Finite buffers or an active fault schedule: handler dispatch,
+            # no bound checks.  (Faults need the handler path's fault-aware
+            # branches; a fault-capable fast loop has not landed — see
+            # docs/performance.md.)
             while events:
                 item = pop(events)
                 t = item[0]
@@ -252,7 +310,11 @@ class NetworkSimulator:
                     raise SimulationError(f"exceeded max_events={max_events}")
         self.stats.n_events += n_ev
         if until is None and max_events is None:
-            undelivered = self.stats.n_injected - len(self.stats.latencies_ns)
+            undelivered = (
+                self.stats.n_injected
+                - len(self.stats.latencies_ns)
+                - self.stats.n_dropped
+            )
             if undelivered > 0 and self.config.finite_buffers:
                 self.stats.deadlocked = True
                 self.stats.undelivered = undelivered
@@ -263,11 +325,14 @@ class NetworkSimulator:
         """Drain the queue with every handler body inlined (hot default).
 
         Semantically identical to dispatching through ``self._handlers``
-        (the equivalence is pinned by a test) but saves one Python frame
-        per event, which is worth ~10% of total runtime.  Only valid for
-        the default configuration: no ``until``/``max_events`` bound and
-        unbounded buffers (``_buf_used is None``), so the finite-buffer
-        branches of the handlers are omitted here.
+        (the equivalence is pinned by the differential harness in
+        tests/test_sim_fastpath.py) but saves one Python frame per event,
+        which is worth ~10% of total runtime.  Only valid for the default
+        configuration: no ``until``/``max_events`` bound, unbounded
+        buffers (``_buf_used is None``), and no fault schedule — the
+        finite-buffer and fault-aware branches of the handlers are
+        omitted here (see docs/performance.md, "When _run_fast is
+        bypassed").
         """
         events = self._events
         pop = heapq.heappop
@@ -411,9 +476,17 @@ class NetworkSimulator:
     def _nic_done(self, item, t: float) -> None:
         ep = item[3]
         events = self._events
-        # Packet reaches its injection router after the cable delay.
-        heappush(events, (t + self._link_ns, next(self._seq), _ARRIVE,
-                          ep // self._conc, item[4], True))
+        mask = self._fault_mask
+        if mask is not None and not mask.router_alive(ep // self._conc):
+            # Injection router is down: the packet is lost entering it.
+            # The NIC keeps (blindly) serialising its queue — packets
+            # injected while the router stays down are dropped one by one,
+            # and queued ones survive a recovery that beats them out.
+            self._drop(item[4], t, "router-down")
+        else:
+            # Packet reaches its injection router after the cable delay.
+            heappush(events, (t + self._link_ns, next(self._seq), _ARRIVE,
+                              ep // self._conc, item[4], True))
         q = self._nic_queues[ep]
         if q:
             nxt = q.popleft()
@@ -425,7 +498,11 @@ class NetworkSimulator:
     def _arrive(self, item, t: float) -> None:
         router = item[3]
         pkt = item[4]
+        mask = self._fault_mask
         if router == pkt.dst_router:
+            if mask is not None and not mask.router_alive(router):
+                self._drop(pkt, t, "router-down")
+                return
             # -- ejection port (inlined _eject) ----------------------------
             ep = pkt.dst_ep
             if self._ej_busy[ep]:
@@ -437,13 +514,37 @@ class NetworkSimulator:
                           next(self._seq), _EJECT_DONE, ep, pkt))
             return
         routing = self.routing
-        if item[5]:  # is_source
-            routing.on_source(self, router, pkt)
-            if pkt.intermediate is not None:
-                self.stats.valiant_choices += 1
-            else:
-                self.stats.minimal_choices += 1
-        nxt = routing.next_hop(self, router, pkt)
+        if mask is not None:
+            # Fault-aware forwarding (handler path only; _run_fast bails
+            # out whenever a fault schedule is attached).
+            if not mask.router_alive(router):
+                # Already on the cable when the router died.
+                self._drop(pkt, t, "router-down")
+                return
+            if not mask.router_alive(pkt.dst_router):
+                self._drop(pkt, t, "router-down")
+                return
+            if pkt.hops >= self._ttl:
+                self._drop(pkt, t, "ttl")
+                return
+            if item[5]:  # is_source
+                routing.on_source(self, router, pkt)
+                if pkt.intermediate is not None:
+                    self.stats.valiant_choices += 1
+                else:
+                    self.stats.minimal_choices += 1
+            nxt = routing.next_hop_degraded(self, router, pkt)
+            if nxt < 0:
+                self._drop(pkt, t, "unreachable")
+                return
+        else:
+            if item[5]:  # is_source
+                routing.on_source(self, router, pkt)
+                if pkt.intermediate is not None:
+                    self.stats.valiant_choices += 1
+                else:
+                    self.stats.minimal_choices += 1
+            nxt = routing.next_hop(self, router, pkt)
         eid = self._edge_index[router * self.n_routers + nxt]
         vc = pkt.hops
         n_vcs = self.n_vcs
@@ -527,6 +628,19 @@ class NetworkSimulator:
         eid = item[3]
         pkt = item[4]
         self._port_bytes[eid] -= pkt.size
+        kills = self._port_kill
+        if kills is not None and kills[eid]:
+            # The link died under this packet mid-transmission (its queue
+            # was flushed at the fault event; this lazy token is how the
+            # already-scheduled completion learns about it).
+            kills[eid] -= 1
+            self._port_busy[eid] = False
+            self._drop(pkt, t, "link-down")
+            if self._port_queued[eid]:
+                # Only possible if the link recovered before the doomed
+                # transmission finished and traffic queued behind it.
+                self._try_start(eid, t)
+            return
         pkt.hops += 1
         # The packet has fully left the previous router: release the input
         # buffer it was holding there and occupy the one it just filled.
@@ -545,15 +659,20 @@ class NetworkSimulator:
         pkt = item[4]
         if self._buf_used is not None:
             self._release_buffer(pkt, t)
-        t_deliver = t + self._link_ns
-        stats = self.stats
-        stats.latencies_ns.append(t_deliver - pkt.t_created)
-        stats.hops.append(pkt.hops)
-        stats.bytes_delivered += pkt.size
-        if t_deliver > stats.t_last_delivery:
-            stats.t_last_delivery = t_deliver
-        if self.on_delivery is not None:
-            self.on_delivery(pkt, t_deliver)
+        mask = self._fault_mask
+        if mask is not None and not mask.router_alive(ep // self._conc):
+            # Router died while the packet was crossing the ejection port.
+            self.stats.record_drop("router-down")
+        else:
+            t_deliver = t + self._link_ns
+            stats = self.stats
+            stats.latencies_ns.append(t_deliver - pkt.t_created)
+            stats.hops.append(pkt.hops)
+            stats.bytes_delivered += pkt.size
+            if t_deliver > stats.t_last_delivery:
+                stats.t_last_delivery = t_deliver
+            if self.on_delivery is not None:
+                self.on_delivery(pkt, t_deliver)
         q = self._ej_queues[ep]
         if q:
             nxt = q.popleft()
@@ -562,6 +681,69 @@ class NetworkSimulator:
                       _EJECT_DONE, ep, nxt))
         else:
             self._ej_busy[ep] = False
+
+    # -- fault application ---------------------------------------------------
+    def _drop(self, pkt: Packet, t: float, reason: str) -> None:
+        """Account one fault-lost packet (releasing any held buffer)."""
+        if self._buf_used is not None:
+            self._release_buffer(pkt, t)
+        self.stats.record_drop(reason)
+
+    def _sever_port(self, eid: int, t: float, requeue: bool) -> None:
+        """Apply a directed-edge failure to the port's in-flight state.
+
+        The packet mid-transmission (if any) is lost — consumed lazily by a
+        kill token at its already-scheduled ``_PORT_DONE``.  Queued packets
+        are pulled out and re-routed at the upstream router (``requeue``),
+        or lost with it when the upstream router itself died.
+        """
+        if self._port_busy[eid] and not self._port_kill[eid]:
+            # At most one transmission is ever in flight per port, so at
+            # most one token may be pending: a re-failure (down/up/down)
+            # before the doomed completion fires must not mint a second
+            # token, or it would later kill a healthy transmission.
+            self._port_kill[eid] = 1
+        if not self._port_queued[eid]:
+            return
+        qs = self._port_queues[eid]
+        head = self._edge_head[eid]
+        events = self._events
+        stats = self.stats
+        port_bytes = self._port_bytes
+        for q in qs:
+            while q:
+                pkt, _nxt = q.popleft()
+                port_bytes[eid] -= pkt.size
+                if requeue:
+                    stats.n_requeued += 1
+                    heappush(events,
+                             (t, next(self._seq), _ARRIVE, head, pkt, False))
+                else:
+                    self._drop(pkt, t, "router-down")
+        self._port_queued[eid] = 0
+
+    def _apply_fault(self, item, t: float) -> None:
+        """Handler for ``_FAULT`` events: mutate the mask, fix up the ports."""
+        ev = self._fault_schedule[item[3]]
+        mask = self._fault_mask
+        kind = ev.kind
+        if kind == "link-down":
+            for eid in mask.fail_link(ev.a, ev.b):
+                self._sever_port(eid, t, requeue=True)
+            label = f"link-down {ev.a}-{ev.b}"
+        elif kind == "link-up":
+            mask.restore_link(ev.a, ev.b)
+            label = f"link-up {ev.a}-{ev.b}"
+        elif kind == "router-down":
+            for eid in mask.fail_router(ev.a):
+                # Ports out of the dead router lose their queues with it;
+                # ports into it requeue at the (still live) upstream router.
+                self._sever_port(eid, t, requeue=self._edge_head[eid] != ev.a)
+            label = f"router-down {ev.a}"
+        else:  # router-up
+            mask.restore_router(ev.a)
+            label = f"router-up {ev.a}"
+        self.stats.mark_epoch(t, label)
 
     # Used by traffic sources to schedule their own firings.
     def schedule_inject(self, t: float, source) -> None:

@@ -26,21 +26,102 @@ class SimStats:
     #: deliberately kept out of :meth:`summary` so result tables are
     #: unchanged).
     n_events: int = 0
+    # -- fault-injection accounting (see docs/resilience.md) ---------------
+    #: Packets lost to faults, by cause: ``link-down`` (mid-flight on a
+    #: failed link), ``router-down`` (at/into a dead router), ``ttl``
+    #: (non-minimal walk exceeded the hop budget), ``unreachable`` (no live
+    #: outgoing link).
+    n_dropped: int = 0
+    drops: dict = field(default_factory=dict)
+    #: Packets pulled out of a failed port's queues and re-routed.
+    n_requeued: int = 0
+    #: Hops taken through the non-minimal fallback (minimal set severed).
+    nonminimal_hops: int = 0
+    #: Epoch snapshots appended at every applied fault event; see
+    #: :meth:`mark_epoch` / :meth:`epoch_rows`.
+    epochs: list = field(default_factory=list)
 
     # Delivery accounting (latencies_ns/hops appends, bytes_delivered,
     # t_last_delivery) is inlined at the simulator's two eject sites —
     # NetworkSimulator._eject_done and the _run_fast eject branch — which
     # must be kept in sync with each other (a test pins their equivalence).
 
+    def record_drop(self, reason: str) -> None:
+        """Count one packet lost to a fault, keyed by cause."""
+        self.n_dropped += 1
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+
+    def mark_epoch(self, t: float, label: str) -> None:
+        """Snapshot the cumulative counters at a fault-event boundary.
+
+        The simulator calls this once per applied fault event; consecutive
+        snapshots delimit *epochs* of constant topology, and
+        :meth:`epoch_rows` differences them into per-epoch rates.
+        """
+        self.epochs.append(
+            {
+                "t": t,
+                "label": label,
+                "injected": self.n_injected,
+                "delivered": len(self.latencies_ns),
+                "dropped": self.n_dropped,
+                "requeued": self.n_requeued,
+                "bytes_delivered": self.bytes_delivered,
+            }
+        )
+
+    def epoch_rows(self) -> list:
+        """Per-epoch deltas: one row per constant-topology interval.
+
+        Epoch ``i`` spans from snapshot ``i`` to snapshot ``i + 1`` (the
+        final epoch runs to the end of the simulation).  Empty when no
+        fault schedule was active.
+        """
+        if not self.epochs:
+            return []
+        end = {
+            "t": self.t_last_delivery,
+            "label": "end",
+            "injected": self.n_injected,
+            "delivered": len(self.latencies_ns),
+            "dropped": self.n_dropped,
+            "requeued": self.n_requeued,
+            "bytes_delivered": self.bytes_delivered,
+        }
+        rows = []
+        bounds = list(self.epochs) + [end]
+        for start, stop in zip(bounds[:-1], bounds[1:]):
+            rows.append(
+                {
+                    "t_start": start["t"],
+                    "t_end": stop["t"],
+                    "label": start["label"],
+                    "injected": stop["injected"] - start["injected"],
+                    "delivered": stop["delivered"] - start["delivered"],
+                    "dropped": stop["dropped"] - start["dropped"],
+                    "requeued": stop["requeued"] - start["requeued"],
+                    "bytes_delivered": stop["bytes_delivered"]
+                    - start["bytes_delivered"],
+                }
+            )
+        return rows
+
     def summary(self) -> dict:
         """Headline metrics: the paper's 'maximum time taken across all the
         messages' plus mean/median/p99 latency and delivered throughput."""
         lat = np.asarray(self.latencies_ns, dtype=np.float64)
         if len(lat) == 0:
+            # Keep the fault-accounting keys present even when nothing was
+            # delivered (a total-loss cell must produce a row, not a
+            # KeyError, in the resilience-traffic drivers).
             return {
                 "delivered": 0,
                 "deadlocked": self.deadlocked,
                 "undelivered": self.undelivered,
+                "dropped": self.n_dropped,
+                "requeued": self.n_requeued,
+                "delivered_fraction": 0.0,
+                "nonminimal_hops": self.nonminimal_hops,
             }
         makespan = self.t_last_delivery - self.t_first_inject
         return {
@@ -61,4 +142,8 @@ class SimStats:
                 self.valiant_choices
                 / max(1, self.valiant_choices + self.minimal_choices)
             ),
+            "dropped": self.n_dropped,
+            "requeued": self.n_requeued,
+            "delivered_fraction": len(lat) / max(1, self.n_injected),
+            "nonminimal_hops": self.nonminimal_hops,
         }

@@ -67,3 +67,79 @@ class TestResilienceTrials:
             max_trials_per_batch=2,
         )
         assert mean == 1.0
+
+
+class TestResilienceTrialsRngStreams:
+    """Regression: per-trial substreams (see the RNG contract docstring).
+
+    Historically every trial drew straight from the one shared stream, so a
+    preceding ``resilience_trials`` call consuming a different number of
+    draws (more trials after CV escalation, disconnected-graph redraws)
+    perturbed every later call's trial graphs.  Each call now consumes
+    exactly one spawn from a shared generator and each trial gets its own
+    spawned substream.
+    """
+
+    @staticmethod
+    def _trial_hashes_after(first_call_kwargs):
+        """Run a first metric with the given kwargs, then record the trial
+        graphs of an identical second metric off the same shared generator."""
+        from repro.graphs.metrics import average_distance
+
+        g = hypercube_graph(4)
+        rng = np.random.default_rng(7)
+        resilience_trials(
+            g, 0.3, average_distance, seed=rng, **first_call_kwargs
+        )
+        hashes = []
+
+        def capture(h):
+            hashes.append(h.content_hash())
+            return float(h.num_edges)
+
+        resilience_trials(g, 0.2, capture, seed=rng, max_trials_per_batch=1)
+        return hashes
+
+    def test_first_call_trial_count_does_not_perturb_second(self):
+        # cv_target=0.0 forces the first call to escalate to its trial cap,
+        # so the two scenarios consume very different numbers of trials
+        # (and redraws); the second call's trial graphs must not move.
+        few = self._trial_hashes_after(dict(max_trials_per_batch=1))
+        many = self._trial_hashes_after(
+            dict(max_trials_per_batch=5, cv_target=0.0)
+        )
+        assert few == many
+
+    def test_same_integer_seed_reproduces_trials(self):
+        g = hypercube_graph(4)
+        seen: list[list[str]] = []
+        for _ in range(2):
+            hashes = []
+
+            def capture(h):
+                hashes.append(h.content_hash())
+                return float(h.num_edges)
+
+            resilience_trials(g, 0.25, capture, seed=9,
+                              max_trials_per_batch=2)
+            seen.append(hashes)
+        assert seen[0] == seen[1]
+
+    def test_shared_generator_decorrelates_metrics(self):
+        # The fig5 pattern: consecutive calls on one generator must see
+        # *different* trial graphs (that is the point of sharing it).
+        g = hypercube_graph(4)
+        rng = np.random.default_rng(3)
+        first, second = [], []
+
+        def cap(store):
+            def metric(h):
+                store.append(h.content_hash())
+                return float(h.num_edges)
+            return metric
+
+        resilience_trials(g, 0.25, cap(first), seed=rng,
+                          max_trials_per_batch=1)
+        resilience_trials(g, 0.25, cap(second), seed=rng,
+                          max_trials_per_batch=1)
+        assert first != second

@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for edge failures and fault masks.
+
+Three contracts, over randomly generated connected graphs and fault sets:
+
+* :func:`delete_random_edges` — the survivor graph's degree sums match its
+  surviving edges, survivors are a subset of the original edge set, and
+  exactly ``round(p * m)`` edges disappear;
+* :class:`FaultMask` — every masked next-hop candidate is a live directed
+  edge (and a pristine-table candidate), and the non-minimal fallback only
+  ever offers live links;
+* recovery — restoring every fault (in any order) brings the mask back
+  **bit-for-bit** to the pristine table for every (router, destination)
+  pair.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.failures import delete_random_edges, sample_edge_failures
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    torus_graph,
+)
+from repro.graphs.metrics import is_connected
+from repro.routing.tables import RoutingTables
+
+
+# -- strategies --------------------------------------------------------------
+#: Small connected graphs with real routing structure (path diversity,
+#: diameter > 1) drawn from the package's own generators.
+_GRAPH_BUILDERS = (
+    lambda k: complete_graph(4 + k % 7),
+    lambda k: cycle_graph(5 + k % 9),
+    lambda k: hypercube_graph(2 + k % 3),
+    lambda k: torus_graph((3 + k % 3, 3 + (k // 3) % 3)),
+)
+
+
+@st.composite
+def connected_graphs(draw):
+    which = draw(st.integers(min_value=0, max_value=len(_GRAPH_BUILDERS) - 1))
+    k = draw(st.integers(min_value=0, max_value=8))
+    return _GRAPH_BUILDERS[which](k)
+
+
+@st.composite
+def graphs_with_failures(draw):
+    g = draw(connected_graphs())
+    proportion = draw(st.floats(min_value=0.0, max_value=0.45))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return g, proportion, seed
+
+
+# -- delete_random_edges -----------------------------------------------------
+class TestDeleteRandomEdgesProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_failures())
+    def test_degree_sums_match_surviving_edges(self, case):
+        g, proportion, seed = case
+        h = delete_random_edges(g, proportion, seed=seed)
+        # CSR stores both directions: total degree == 2 * undirected edges.
+        assert int(h.degrees().sum()) == 2 * h.num_edges
+        assert len(h.indices) == 2 * h.num_edges
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_failures())
+    def test_exact_count_and_subset(self, case):
+        g, proportion, seed = case
+        h = delete_random_edges(g, proportion, seed=seed)
+        m = g.num_edges
+        assert h.num_edges == m - int(round(proportion * m))
+        original = {tuple(e) for e in g.edge_array()}
+        assert all(tuple(e) in original for e in h.edge_array())
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_failures())
+    def test_matches_sampler(self, case):
+        # delete_random_edges == "remove exactly what sample_edge_failures
+        # draws" (the dynamic fault schedules rely on this equivalence).
+        g, proportion, seed = case
+        h = delete_random_edges(g, proportion, seed=seed)
+        removed = {tuple(e) for e in sample_edge_failures(g, proportion, seed)}
+        survivors = {tuple(e) for e in h.edge_array()}
+        original = {tuple(e) for e in g.edge_array()}
+        assert survivors == original - removed
+
+
+# -- FaultMask ---------------------------------------------------------------
+def _tables_for(g: CSRGraph) -> RoutingTables:
+    t = RoutingTables(g, use_cache=False)
+    t.build_fast_path()
+    return t
+
+
+class TestFaultMaskProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(graphs_with_failures())
+    def test_masked_candidates_are_live_table_candidates(self, case):
+        g, proportion, seed = case
+        tables = _tables_for(g)
+        mask = tables.fault_mask()
+        failed = [tuple(map(int, e))
+                  for e in sample_edge_failures(g, proportion, seed)]
+        for u, v in failed:
+            mask.fail_link(u, v)
+        dead = set(failed) | {(v, u) for u, v in failed}
+        n = g.n
+        for u in range(n):
+            for d in range(n):
+                if u == d:
+                    continue
+                live = mask.live_min_candidates(u, d)
+                pristine = set(tables.table_next_hops(u, d).tolist())
+                for v in live:
+                    assert (u, v) not in dead  # always a live edge
+                    assert v in pristine  # always a true minimal candidate
+                for v in mask.fallback_candidates(u, d):
+                    assert (u, v) not in dead
+                    assert g.has_edge(u, v)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graphs_with_failures(), st.randoms(use_true_random=False))
+    def test_recovery_restores_table_bit_for_bit(self, case, shuffler):
+        g, proportion, seed = case
+        tables = _tables_for(g)
+        mask = tables.fault_mask()
+        failed = [tuple(map(int, e))
+                  for e in sample_edge_failures(g, proportion, seed)]
+        for u, v in failed:
+            mask.fail_link(u, v)
+        assert mask.pristine == (len(failed) == 0)
+        # Restore in an arbitrary order: masking must be order-independent.
+        shuffler.shuffle(failed)
+        for u, v in failed:
+            mask.restore_link(u, v)
+        assert mask.pristine
+        n = g.n
+        for u in range(n):
+            for d in range(n):
+                assert (
+                    mask.live_min_candidates(u, d)
+                    == tables.table_next_hops(u, d).tolist()
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(connected_graphs(), st.integers(min_value=0, max_value=10**6))
+    def test_router_failure_composes_with_link_failure(self, g, seed):
+        # Independently failing a link incident to a failed router must
+        # survive the router's restoration (multiplicity, not booleans).
+        tables = _tables_for(g)
+        mask = tables.fault_mask()
+        rng = np.random.default_rng(seed)
+        r = int(rng.integers(g.n))
+        v = int(g.neighbors(r)[0])
+        mask.fail_link(r, v)
+        mask.fail_router(r)
+        mask.restore_router(r)
+        assert not mask.pristine
+        assert not mask.edge_alive(r, v)
+        assert not mask.edge_alive(v, r)
+        mask.restore_link(r, v)
+        assert mask.pristine
+        assert mask.edge_alive(r, v)

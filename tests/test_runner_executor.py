@@ -1,0 +1,114 @@
+"""Executor failure paths: a raising cell must fail loud, clean, and cheap.
+
+Contract (enforced in ``repro.runner.executor._run_cells``):
+
+* the error surfaces as :class:`CellExecutionError` with the failing
+  cell's :class:`ExperimentSpec` attached (and the original exception
+  chained as ``__cause__``);
+* the disk cache is never poisoned — no entry is written for the failed
+  cell, and the cells that did complete remain individually cached;
+* the process pool shuts down instead of hanging (pending cells are
+  cancelled; the run returns promptly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CellExecutionError
+from repro.runner import run_experiment
+from repro.runner.registry import ExperimentDef
+from repro.utils.diskcache import DiskCache
+
+# A registry-shaped experiment whose driver raises for one cell: fig5's
+# driver looks families up in the size-class dict, so an unknown family
+# KeyErrors.  Dotted-path drivers keep the pool workers importable.
+_BROKEN = ExperimentDef(
+    name="broken-sweep",
+    title="sweep with one poisoned cell",
+    fn="repro.experiments.fig5:run",
+    presets={
+        "small": {
+            "class_id": 1,
+            "proportions": (0.0,),
+            "max_trials_per_batch": 1,
+            "families": ("LPS", "NOT-A-FAMILY"),
+        }
+    },
+    cell_axes=("families",),
+)
+
+_OK = ExperimentDef(
+    name="ok-sweep",
+    title="the same sweep without the poisoned cell",
+    fn="repro.experiments.fig5:run",
+    presets={
+        "small": {
+            "class_id": 1,
+            "proportions": (0.0,),
+            "max_trials_per_batch": 1,
+            "families": ("LPS",),
+        }
+    },
+    cell_axes=("families",),
+)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return DiskCache(tmp_path / "cache", enabled=True)
+
+
+def _entries(cache: DiskCache) -> int:
+    return sum(1 for p in cache.root.rglob("*") if p.is_file())
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_raising_cell_surfaces_with_spec(cache, jobs):
+    with pytest.raises(CellExecutionError) as exc_info:
+        run_experiment(_BROKEN, preset="small", jobs=jobs, cache=cache)
+    err = exc_info.value
+    assert err.spec is not None
+    assert "NOT-A-FAMILY" in err.spec.name
+    assert err.spec.kwargs["families"] == ("NOT-A-FAMILY",)
+    assert err.spec.fn == "repro.experiments.fig5:run"
+    if jobs == 1:
+        # In-process execution chains the original exception; pool
+        # execution reconstructs it across the process boundary.
+        assert isinstance(err.__cause__, KeyError)
+
+
+def test_failed_cell_does_not_poison_cache(cache):
+    from repro.runner.executor import _result_key
+
+    with pytest.raises(CellExecutionError) as exc_info:
+        run_experiment(_BROKEN, preset="small", jobs=1, cache=cache)
+    failing_spec = exc_info.value.spec
+    # Nothing was stored under the failing cell's key...
+    assert cache.get(_result_key(failing_spec)) is None
+    # ...and retrying still fails (no stale poisoned entry served).
+    with pytest.raises(CellExecutionError):
+        run_experiment(_BROKEN, preset="small", jobs=1, cache=cache)
+
+
+def test_surviving_cells_stay_cached_after_failure(cache):
+    with pytest.raises(CellExecutionError):
+        run_experiment(_BROKEN, preset="small", jobs=1, cache=cache)
+    # The healthy LPS cell completed before the poisoned one and was
+    # cached: running the healthy subset is a pure cache hit.
+    reports = run_experiment(_OK, preset="small", jobs=1, cache=cache)
+    assert reports[0].n_cached_cells == reports[0].n_cells
+
+
+def test_pool_failure_returns_promptly_and_cleans_up(cache):
+    # jobs=2 with the failure in the sweep: the run must terminate (no
+    # hung pool) and leave the cache no bigger than the successful cells.
+    before = _entries(cache)
+    with pytest.raises(CellExecutionError):
+        run_experiment(_BROKEN, preset="small", jobs=2, cache=cache)
+    after = _entries(cache)
+    # At most the healthy cell (plus its derived topology artifacts) was
+    # written; the failing cell added nothing.
+    assert after >= before
+    ok = run_experiment(_OK, preset="small", jobs=1, cache=cache)
+    assert ok[0].result.rows

@@ -1,13 +1,17 @@
 """Simulator fast-path guarantees: determinism, resume, loop equivalence.
 
-Three properties the perf work must never regress:
+Properties the perf work must never regress:
 
 * fixed seed => byte-identical :class:`SimStats` across fresh runs, for
   every routing policy;
 * ``run(until=...)`` then ``run()`` == one uninterrupted ``run()`` (the
   paused run must not lose the event it popped past ``until``);
 * the inlined hot loop (``_run_fast``) and the handler-dispatch loop
-  produce identical results;
+  produce identical results — pinned by a *differential harness* that
+  samples ~30 random configurations across topology family × routing
+  policy × VC budget × traffic shape × seed, plus fixed regression cases
+  (every new event-loop feature must keep the two paths event-for-event
+  equal over the whole sampled space, not one hand-picked cell);
 * the hot-path data structures stay allocation-lean (no ``Packet.__dict__``,
   plain-tuple events).
 """
@@ -17,7 +21,12 @@ import pytest
 
 from repro.routing import RoutingTables, make_routing
 from repro.sim import NetworkSimulator, Packet, SimConfig
-from repro.topology import build_lps
+from repro.topology import (
+    build_canonical_dragonfly,
+    build_lps,
+    build_paley,
+    build_slimfly,
+)
 
 ROUTINGS = ["minimal", "valiant", "ugal", "ugal-g"]
 
@@ -128,15 +137,144 @@ class TestRunUntilResume:
         assert len(net.stats.latencies_ns) == net.stats.n_injected
 
 
-class TestLoopEquivalence:
-    @pytest.mark.parametrize("routing", ROUTINGS)
-    def test_fast_loop_matches_handler_loop(self, parts, routing):
-        # run() uses the inlined hot loop; run(until=inf) the handler
-        # dispatch.  They must be event-for-event identical.
-        topo, tables = parts
-        fast = _loaded_net(topo, tables, routing).run()
-        general = _loaded_net(topo, tables, routing).run(until=float("inf"))
+# ---------------------------------------------------------------------------
+# Differential harness: the inlined hot loop vs. the handler-dispatch loop.
+#
+# run() uses _run_fast; run(until=inf) dispatches through the handler
+# tuple.  The two implementations must stay event-for-event identical as
+# the event loop grows features, so instead of one hand-picked cell we
+# sample the configuration space (topology family x routing policy x VC
+# budget x concentration x traffic shape x seed) from a fixed generator
+# seed and assert equality on every per-packet observable for each sample.
+
+_FAMILIES = {
+    "lps": lambda: build_lps(3, 5),  # 120 routers, radix 4
+    "slimfly": lambda: build_slimfly(5),  # 50 routers, radix 7
+    "dragonfly": lambda: build_canonical_dragonfly(6),  # 42 routers
+    "paley": lambda: build_paley(29),  # 29 routers, radix 14
+}
+_POW2_PATTERNS = ("shuffle", "reverse", "transpose")
+
+
+def _sample_diff_configs(n=30, seed=20240731):
+    """Deterministically sample ``n`` fast-vs-handler configurations."""
+    rng = np.random.default_rng(seed)
+    families = sorted(_FAMILIES)
+    configs = []
+    for i in range(n):
+        traffic = ("sends", "open-loop")[int(rng.integers(2))]
+        cfg = {
+            "family": families[int(rng.integers(len(families)))],
+            "routing": ROUTINGS[int(rng.integers(len(ROUTINGS)))],
+            # 0 = the policy's own VC budget; small caps stress the
+            # round-robin scan and the hop-capped VC assignment.
+            "vc_cap": int(rng.integers(5)),
+            "concentration": int((1, 2, 4)[int(rng.integers(3))]),
+            "traffic": traffic,
+            "seed": int(rng.integers(10_000)),
+        }
+        if traffic == "sends":
+            cfg["n_msgs"] = int(rng.integers(40, 260))
+            cfg["size"] = int((512, 4096, 9000)[int(rng.integers(3))])
+        else:
+            if rng.random() < 0.4:
+                cfg["pattern"] = "random"
+            else:
+                cfg["pattern"] = _POW2_PATTERNS[
+                    int(rng.integers(len(_POW2_PATTERNS)))
+                ]
+            cfg["load"] = float(np.round(0.2 + 0.7 * rng.random(), 2))
+            cfg["packets_per_rank"] = int(rng.integers(3, 9))
+        configs.append(cfg)
+    return configs
+
+
+# Fixed regression cases: the original hand-picked cell plus corner VC/
+# concentration settings that once had dedicated code paths.
+_FIXED_CASES = [
+    {"family": "lps", "routing": r, "vc_cap": 0, "concentration": 2,
+     "traffic": "sends", "n_msgs": 250, "size": 4096, "seed": 0}
+    for r in ROUTINGS
+] + [
+    {"family": "slimfly", "routing": "minimal", "vc_cap": 1,
+     "concentration": 1, "traffic": "sends", "n_msgs": 120, "size": 4096,
+     "seed": 7},
+    {"family": "dragonfly", "routing": "ugal", "vc_cap": 2,
+     "concentration": 4, "traffic": "open-loop", "pattern": "shuffle",
+     "load": 0.6, "packets_per_rank": 5, "seed": 11},
+]
+
+
+def _config_id(cfg):
+    parts = [cfg["family"], cfg["routing"], f"vc{cfg['vc_cap']}",
+             f"c{cfg['concentration']}", cfg["traffic"], f"s{cfg['seed']}"]
+    return "-".join(parts)
+
+
+@pytest.fixture(scope="module")
+def family_parts():
+    built = {}
+    for name, build in _FAMILIES.items():
+        topo = build()
+        built[name] = (topo, RoutingTables(topo.graph))
+    return built
+
+
+def _build_diff_net(family_parts, cfg):
+    from repro.sim import make_traffic, place_ranks
+    from repro.sim.traffic import OpenLoopSource
+
+    topo, tables = family_parts[cfg["family"]]
+    routing = make_routing(cfg["routing"], tables, seed=cfg["seed"])
+    if cfg["vc_cap"]:
+        # Shadow the bound method: a small VC budget stresses the RR scan.
+        base = routing.required_vcs()
+        routing.required_vcs = lambda k=min(cfg["vc_cap"], base): k
+    net = NetworkSimulator(
+        topo, routing, SimConfig(concentration=cfg["concentration"]),
+        tables=tables,
+    )
+    if cfg["traffic"] == "sends":
+        rng = np.random.default_rng(cfg["seed"] + 99)
+        for _ in range(cfg["n_msgs"]):
+            s, d = rng.integers(0, net.n_endpoints, 2)
+            if s != d:
+                net.send(int(s), int(d), size=cfg["size"])
+    else:
+        # Largest power of two that fits (bit-permutation patterns need
+        # 2^b ranks), capped at 64 to bound runtime.
+        n_ranks = min(64, 1 << (net.n_endpoints.bit_length() - 1))
+        r2e = place_ranks(n_ranks, net.n_endpoints, seed=cfg["seed"] + 1)
+        pattern = make_traffic(cfg["pattern"], n_ranks)
+        for rank in range(n_ranks):
+            net.add_open_loop_source(
+                OpenLoopSource(rank, int(r2e[rank]), pattern, r2e,
+                               cfg["load"], cfg["packets_per_rank"],
+                               seed=cfg["seed"] * 1_000_003 + rank)
+            )
+    return net
+
+
+class TestDifferentialHarness:
+    @pytest.mark.parametrize(
+        "cfg", _FIXED_CASES + _sample_diff_configs(30),
+        ids=_config_id,
+    )
+    def test_fast_loop_matches_handler_loop(self, family_parts, cfg):
+        fast = _build_diff_net(family_parts, cfg).run()
+        general = _build_diff_net(family_parts, cfg).run(until=float("inf"))
+        assert len(fast.latencies_ns) > 0, "degenerate sample: nothing ran"
         assert _stats_tuple(fast) == _stats_tuple(general)
+
+    def test_sampler_is_stable(self):
+        # The sampled space must not drift run-to-run (that would make a
+        # divergence unreproducible); same seed => same configs.
+        assert _sample_diff_configs(30) == _sample_diff_configs(30)
+        # ... and it genuinely covers the axes.
+        cfgs = _sample_diff_configs(30)
+        assert {c["family"] for c in cfgs} == set(_FAMILIES)
+        assert {c["routing"] for c in cfgs} == set(ROUTINGS)
+        assert {c["traffic"] for c in cfgs} == {"sends", "open-loop"}
 
 
 class TestTrafficPatternContract:
