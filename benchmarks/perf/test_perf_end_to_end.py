@@ -13,10 +13,11 @@ from repro.runner.bench import BENCH_PRESETS, run_cell
 from repro.topology import SIM_CONFIGS
 
 
+@pytest.mark.parametrize("backend", BENCH_PRESETS["smoke"]["backends"])
 @pytest.mark.parametrize(
     "routing,pattern", BENCH_PRESETS["smoke"]["cells"], ids=lambda c: str(c)
 )
-def test_smoke_cell_throughput(benchmark, routing, pattern):
+def test_smoke_cell_throughput(benchmark, routing, pattern, backend):
     spec = BENCH_PRESETS["smoke"]
     cfg = SIM_CONFIGS[spec["scale"]]
     topo_spec = cfg["topologies"][spec["topologies"][0]]
@@ -29,6 +30,7 @@ def test_smoke_cell_throughput(benchmark, routing, pattern):
             concentration=topo_spec["concentration"],
             n_ranks=spec["n_ranks"],
             packets_per_rank=spec["packets_per_rank"],
+            backend=backend,
         ),
         rounds=1,
         iterations=1,
@@ -36,7 +38,7 @@ def test_smoke_cell_throughput(benchmark, routing, pattern):
     )
     print()
     print(
-        f"{row['topology']} {routing}/{pattern}: "
+        f"{row['topology']} {routing}/{pattern} [{backend}]: "
         f"{row['packets_per_s']:,.0f} pkt/s, {row['events_per_s']:,.0f} ev/s"
     )
     assert row["delivered"] > 0

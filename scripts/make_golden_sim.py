@@ -1,0 +1,54 @@
+"""Regenerate the golden-stats corpus (``tests/golden/sim_small.json``).
+
+The cell list, field set, and runner live in ``tests/test_sim_golden.py``
+so the generator and the regression test can never disagree about what a
+cell is.  Run this only when a change *intentionally* alters event-engine
+behaviour, commit the diff, and explain the regeneration in the commit
+message.
+
+Usage: python scripts/make_golden_sim.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+for p in (str(ROOT / "src"), str(ROOT / "tests")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from test_sim_golden import (  # noqa: E402
+    CELLS,
+    GOLDEN_PATH,
+    N_RANKS,
+    PACKETS_PER_RANK,
+    cell_id,
+    collect_cell,
+)
+
+
+def main() -> int:
+    corpus = {
+        "schema": 1,
+        "kind": "repro-sim-golden",
+        "backend": "event",
+        "n_ranks": N_RANKS,
+        "packets_per_rank": PACKETS_PER_RANK,
+        "cells": {},
+    }
+    for cell in CELLS:
+        name = cell_id(cell)
+        print(f"  {name}...")
+        corpus["cells"][name] = collect_cell(cell)
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(corpus, indent=1) + "\n")
+    n_lat = sum(len(c["latencies_ns"]) for c in corpus["cells"].values())
+    print(f"wrote {GOLDEN_PATH} ({len(CELLS)} cells, {n_lat} packets)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,15 @@ import numpy as np
 
 from repro.graphs.metrics import average_distance, diameter, girth
 from repro.partition import bisection_bandwidth
+from repro.errors import ParameterError
 from repro.routing import RoutingTables, make_routing
-from repro.sim import NetworkSimulator, SimConfig, make_traffic, place_ranks
+from repro.sim import (
+    BatchedSimulator,
+    NetworkSimulator,
+    SimConfig,
+    make_traffic,
+    place_ranks,
+)
 from repro.sim.traffic import OpenLoopSource
 from repro.spectral import mu1
 from repro.topology import Topology, build_size_class
@@ -110,7 +117,8 @@ def build_synthetic_sim(
     seed: int = 0,
     config: SimConfig | None = None,
     faults=None,
-) -> NetworkSimulator:
+    backend: str | None = None,
+) -> NetworkSimulator | BatchedSimulator:
     """Assemble (but do not run) one open-loop synthetic-traffic simulation.
 
     Split out of :func:`run_synthetic_sim` so the perf benchmarks
@@ -118,13 +126,26 @@ def build_synthetic_sim(
     topology construction and table building.  ``faults`` optionally
     attaches a :class:`~repro.sim.faults.FaultSchedule` (the
     ``resilience-traffic`` experiments).
+
+    ``backend`` selects the engine: ``"event"`` (the discrete-event
+    reference) or ``"batched"`` (the numpy cycle-driven engine, see
+    docs/performance.md); ``None`` defers to ``config.backend``.  The
+    batched engine rejects fault schedules at construction.
     """
     cfg = config or SimConfig(concentration=concentration)
     if config is None:
         cfg.concentration = concentration
+    backend = backend if backend is not None else cfg.backend
     tables = cached_tables(topo)
     routing = make_routing(routing_name, tables, seed=seed)
-    net = NetworkSimulator(topo, routing, cfg, tables=tables, faults=faults)
+    if backend == "batched":
+        net = BatchedSimulator(topo, routing, cfg, tables=tables, faults=faults)
+    elif backend == "event":
+        net = NetworkSimulator(topo, routing, cfg, tables=tables, faults=faults)
+    else:
+        raise ParameterError(
+            f"unknown simulator backend {backend!r}; options: event, batched"
+        )
     rank_to_ep = place_ranks(n_ranks, net.n_endpoints, seed=seed + 1)
     pattern = make_traffic(pattern_name, n_ranks)
     for rank in range(n_ranks):
@@ -152,12 +173,14 @@ def run_synthetic_sim(
     packets_per_rank: int = 20,
     seed: int = 0,
     config: SimConfig | None = None,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """One open-loop synthetic-traffic simulation; returns the stats summary.
 
     This is the engine behind Figs. 6-8: a Poisson source per rank at
     ``offered_load`` of the endpoint bandwidth, the named bit-permutation
-    (or random) pattern, and the requested routing policy.
+    (or random) pattern, and the requested routing policy, on either
+    simulation ``backend`` (see :func:`build_synthetic_sim`).
     """
     net = build_synthetic_sim(
         topo,
@@ -169,6 +192,7 @@ def run_synthetic_sim(
         packets_per_rank=packets_per_rank,
         seed=seed,
         config=config,
+        backend=backend,
     )
     stats = net.run()
     out = stats.summary()
@@ -177,6 +201,7 @@ def run_synthetic_sim(
         routing=routing_name,
         pattern=pattern_name,
         offered_load=offered_load,
+        backend=backend or (config.backend if config else "event"),
     )
     return out
 

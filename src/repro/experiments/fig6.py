@@ -23,8 +23,13 @@ def run(
     packets_per_rank: int = 20,
     seed: int = 0,
     baseline: str = "DragonFly",
+    backend: str = "event",
 ) -> ExperimentResult:
-    """Run the Fig. 6 sweep at ``scale`` ("small" default, "paper" full)."""
+    """Run the Fig. 6 sweep at ``scale`` ("small" default, "paper" full).
+
+    ``backend`` selects the simulation engine (``event`` reference or the
+    vectorized ``batched`` engine — see docs/performance.md).
+    """
     cfg = SIM_CONFIGS[scale]
     n_ranks = cfg["n_ranks"]
     rows = []
@@ -42,6 +47,7 @@ def run(
                     n_ranks=n_ranks,
                     packets_per_rank=packets_per_rank,
                     seed=seed,
+                    backend=backend,
                 )
             base = results[baseline]
             for name, res in results.items():

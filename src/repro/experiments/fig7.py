@@ -15,6 +15,7 @@ def run(
     loads: tuple[float, ...] = LOADS,
     packets_per_rank: int = 20,
     seed: int = 0,
+    backend: str = "event",
 ) -> ExperimentResult:
     res = _run_fig6(
         scale=scale,
@@ -23,6 +24,7 @@ def run(
         routing="minimal",
         packets_per_rank=packets_per_rank,
         seed=seed,
+        backend=backend,
     )
     res.experiment = f"Fig 7 — random traffic, minimal routing ({scale} scale)"
     res.notes = "expected shape: SpectralFly best under minimal routing too"

@@ -22,6 +22,7 @@ def run(
     loads: tuple[float, ...] = LOADS,
     packets_per_rank: int = 20,
     seed: int = 0,
+    backend: str = "event",
 ) -> ExperimentResult:
     cfg = SIM_CONFIGS[scale]
     spec = cfg["topologies"]["SpectralFly"]
@@ -34,12 +35,14 @@ def run(
                 concentration=spec["concentration"],
                 n_ranks=cfg["n_ranks"],
                 packets_per_rank=packets_per_rank, seed=seed,
+                backend=backend,
             )
             res_val = run_synthetic_sim(
                 topo, "valiant", pattern, load,
                 concentration=spec["concentration"],
                 n_ranks=cfg["n_ranks"],
                 packets_per_rank=packets_per_rank, seed=seed,
+                backend=backend,
             )
             rows.append(
                 {

@@ -45,6 +45,7 @@ def run(
     packets_per_rank: int = 10,
     recover: bool = True,
     seed: int = 0,
+    backend: str = "event",
 ) -> ExperimentResult:
     """Throughput/latency vs. failed-link fraction under live traffic.
 
@@ -56,7 +57,19 @@ def run(
     to the *first* listed fraction, so keep 0.0 first).  The registry
     splits cells along ``families`` × ``routings`` only, so one cell always
     holds its whole fraction sweep and the normalisation stays inside it.
+
+    ``backend="batched"`` is accepted only for fault-free sweeps
+    (``fail_fractions`` all zero): the batched engine has no fault
+    schedules, and those cells then run pristine (no degraded-forwarding
+    machinery, no epochs) on the vectorized engine.
     """
+    if backend != "event" and any(f != 0.0 for f in fail_fractions):
+        from repro.errors import ParameterError
+
+        raise ParameterError(
+            "backend='batched' supports only fault-free resilience cells; "
+            "use --set fail_fractions=0.0 or backend='event'"
+        )
     cfg = SIM_CONFIGS[scale]
     n_ranks = cfg["n_ranks"]
     rows: list[dict[str, Any]] = []
@@ -73,12 +86,16 @@ def run(
                     * sim_cfg.packet_bytes
                     / (offered_load * sim_cfg.bytes_per_ns)
                 )
-                schedule = FaultSchedule.random_link_faults(
-                    topo.graph,
-                    frac,
-                    t_fail=0.25 * horizon,
-                    seed=seed * 7_919 + 1,
-                    t_recover=0.75 * horizon if recover else None,
+                schedule = (
+                    FaultSchedule.random_link_faults(
+                        topo.graph,
+                        frac,
+                        t_fail=0.25 * horizon,
+                        seed=seed * 7_919 + 1,
+                        t_recover=0.75 * horizon if recover else None,
+                    )
+                    if backend == "event"
+                    else None  # batched: fault-free cells, no schedule
                 )
                 net = build_synthetic_sim(
                     topo,
@@ -91,6 +108,7 @@ def run(
                     seed=seed,
                     config=sim_cfg,
                     faults=schedule,
+                    backend=backend,
                 )
                 stats = net.run()
                 s = stats.summary()

@@ -40,6 +40,7 @@ def run(
     packets_per_rank: int = 15,
     knee_factor: float = 1.5,
     seed: int = 0,
+    backend: str = "event",
 ) -> ExperimentResult:
     cfg = SIM_CONFIGS[scale]
     rows = []
@@ -56,6 +57,7 @@ def run(
                 n_ranks=cfg["n_ranks"],
                 packets_per_rank=packets_per_rank,
                 seed=seed,
+                backend=backend,
             )
             series.append((load, res["mean_latency_ns"]))
         knee = find_knee(series, knee_factor)

@@ -29,7 +29,10 @@ from typing import Any
 
 # Presets: which cells the end-to-end sweep runs.  ``smoke`` is sized for
 # CI (seconds); ``small`` is the tracked configuration committed in
-# BENCH_sim.json; ``full`` is paper scale (slow, opt-in).
+# BENCH_sim.json; ``full`` is paper scale (slow, opt-in).  Every cell runs
+# once per entry in ``backends`` — the event engine rows carry the headline
+# summary (comparable to the recorded baseline), the batched rows feed
+# ``summary_batched`` and the batched-vs-event speedup.
 BENCH_PRESETS: dict[str, dict[str, Any]] = {
     "smoke": {
         "scale": "small",
@@ -38,6 +41,7 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
         "load": 0.5,
         "n_ranks": 256,
         "packets_per_rank": 5,
+        "backends": ("event", "batched"),
     },
     "small": {
         "scale": "small",
@@ -51,6 +55,7 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
         "load": 0.5,
         "n_ranks": 512,
         "packets_per_rank": 15,
+        "backends": ("event", "batched"),
     },
     "full": {
         "scale": "paper",
@@ -64,6 +69,7 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
         "load": 0.5,
         "n_ranks": 8192,
         "packets_per_rank": 15,
+        "backends": ("event", "batched"),
     },
 }
 
@@ -83,6 +89,7 @@ def run_cell(
     n_ranks: int,
     packets_per_rank: int,
     seed: int = BENCH_SEED,
+    backend: str = "event",
 ) -> dict[str, Any]:
     """Build one synthetic-traffic sim, time ``net.run()``, summarise."""
     from repro.experiments.common import build_synthetic_sim
@@ -96,6 +103,7 @@ def run_cell(
         n_ranks=n_ranks,
         packets_per_rank=packets_per_rank,
         seed=seed,
+        backend=backend,
     )
     t0 = time.perf_counter()
     stats = net.run()
@@ -108,6 +116,7 @@ def run_cell(
         "routing": routing,
         "pattern": pattern,
         "load": load,
+        "backend": backend,
         "n_ranks": n_ranks,
         "packets_per_rank": packets_per_rank,
         "delivered": delivered,
@@ -120,38 +129,53 @@ def run_cell(
     }
 
 
-def run_end_to_end(preset: str, repeats: int = 1, progress=None) -> list[dict[str, Any]]:
-    """Run every cell of ``preset`` ``repeats`` times; keep the best wall."""
+def run_end_to_end(
+    preset: str,
+    repeats: int = 1,
+    progress=None,
+    backends: tuple[str, ...] | None = None,
+) -> list[dict[str, Any]]:
+    """Run every cell of ``preset`` ``repeats`` times; keep the best wall.
+
+    Each (topology, routing, pattern) cell runs once per backend in
+    ``backends`` (default: the preset's list), so the tracked file carries
+    event and batched rows for the same work at the same seed.
+    """
     from repro.topology import SIM_CONFIGS
 
     spec = BENCH_PRESETS[preset]
     cfg = SIM_CONFIGS[spec["scale"]]
     names = spec["topologies"] or tuple(cfg["topologies"])
+    if backends is None:
+        backends = spec.get("backends", ("event",))
     rows = []
     for name in names:
         topo_spec = cfg["topologies"][name]
         topo = topo_spec["build"]()
         for routing, pattern in spec["cells"]:
-            best: dict[str, Any] | None = None
-            for _ in range(max(1, repeats)):
-                row = run_cell(
-                    topo,
-                    routing,
-                    pattern,
-                    spec["load"],
-                    concentration=topo_spec["concentration"],
-                    n_ranks=spec["n_ranks"],
-                    packets_per_rank=spec["packets_per_rank"],
-                )
-                if best is None or row["wall_s"] < best["wall_s"]:
-                    best = row
-            rows.append(best)
-            if progress is not None:
-                progress(
-                    f"  {best['topology']:>12} {best['routing']:>8} "
-                    f"{best['pattern']:>8}: {best['packets_per_s']:>10,.0f} pkt/s "
-                    f"({best['wall_s']:.2f}s)"
-                )
+            for backend in backends:
+                best: dict[str, Any] | None = None
+                for _ in range(max(1, repeats)):
+                    row = run_cell(
+                        topo,
+                        routing,
+                        pattern,
+                        spec["load"],
+                        concentration=topo_spec["concentration"],
+                        n_ranks=spec["n_ranks"],
+                        packets_per_rank=spec["packets_per_rank"],
+                        backend=backend,
+                    )
+                    if best is None or row["wall_s"] < best["wall_s"]:
+                        best = row
+                rows.append(best)
+                if progress is not None:
+                    progress(
+                        f"  {best['topology']:>12} {best['routing']:>8} "
+                        f"{best['pattern']:>8} {best['backend']:>8}: "
+                        f"{best['packets_per_s']:>10,.0f} pkt/s "
+                        f"({best['wall_s']:.2f}s)"
+                    )
     return rows
 
 
@@ -251,8 +275,15 @@ def run_bench(
     baseline: dict[str, Any] | None = None,
     micro: bool = True,
     progress=print,
+    backends: tuple[str, ...] | None = None,
 ) -> dict[str, Any]:
-    """Run the benchmark suite and (optionally) write ``BENCH_sim.json``."""
+    """Run the benchmark suite and (optionally) write ``BENCH_sim.json``.
+
+    ``summary`` aggregates the *event* cells (comparable to the recorded
+    baseline across PRs); when batched cells ran, ``summary_batched``
+    aggregates those and carries ``speedup_vs_event`` (same cells, same
+    seed, total-packets / total-wall of each engine).
+    """
     import numpy as np
 
     if preset not in BENCH_PRESETS:
@@ -262,10 +293,21 @@ def run_bench(
     if progress is not None:
         progress(f"== repro bench — preset {preset!r}, repeats {repeats}")
     t0 = time.perf_counter()
-    rows = run_end_to_end(preset, repeats=repeats, progress=progress)
-    summary = summarize(rows)
+    rows = run_end_to_end(
+        preset, repeats=repeats, progress=progress, backends=backends
+    )
+    event_rows = [r for r in rows if r["backend"] == "event"]
+    batched_rows = [r for r in rows if r["backend"] == "batched"]
+    # The headline summary always says which engine(s) it aggregates:
+    # event cells when any ran (comparable across PRs), otherwise whatever
+    # did — a batched-only run must not masquerade as event numbers.
+    summary = summarize(event_rows or rows)
+    summary["backend"] = (
+        "event" if event_rows
+        else ",".join(sorted({r["backend"] for r in rows}))
+    )
     result: dict[str, Any] = {
-        "schema": 1,
+        "schema": 2,
         "kind": "repro-sim-perf",
         "preset": preset,
         "seed": BENCH_SEED,
@@ -277,6 +319,15 @@ def run_bench(
         "cells": rows,
         "summary": summary,
     }
+    if batched_rows and event_rows:
+        # Only alongside event cells — a batched-only run's aggregates are
+        # already the (tagged) headline summary, not worth duplicating.
+        sb = summarize(batched_rows)
+        if summary["packets_per_s"]:
+            sb["speedup_vs_event"] = round(
+                sb["packets_per_s"] / summary["packets_per_s"], 2
+            )
+        result["summary_batched"] = sb
     if micro:
         if progress is not None:
             progress("  micro benchmarks...")
@@ -284,18 +335,28 @@ def run_bench(
     if baseline:
         result["baseline"] = baseline
         base = float(baseline.get("packets_per_s", 0.0))
-        if base > 0:
+        # The recorded baselines are event-engine measurements; comparing
+        # a batched-only run against one would fake a ~5x "optimisation".
+        if base > 0 and summary["backend"] == "event":
             result["summary"]["speedup_vs_baseline"] = round(
                 summary["packets_per_s"] / base, 2
             )
     result["bench_wall_s"] = round(time.perf_counter() - t0, 2)
     if progress is not None:
         progress(
-            f"== {summary['total_packets']:,} packets in "
-            f"{summary['total_wall_s']:.2f}s of simulation -> "
+            f"== {summary['backend']}: {summary['total_packets']:,} "
+            f"packets in {summary['total_wall_s']:.2f}s of simulation -> "
             f"{summary['packets_per_s']:,.0f} pkt/s, "
             f"{summary['events_per_s']:,.0f} events/s"
         )
+        if "summary_batched" in result and event_rows:
+            sb = result["summary_batched"]
+            progress(
+                f"== batched: {sb['total_packets']:,} packets in "
+                f"{sb['total_wall_s']:.2f}s -> {sb['packets_per_s']:,.0f} "
+                f"pkt/s ({sb.get('speedup_vs_event', 0):.2f}x the event "
+                "engine)"
+            )
         if "speedup_vs_baseline" in result["summary"]:
             progress(
                 f"== speedup vs recorded baseline: "
@@ -307,3 +368,102 @@ def run_bench(
         if progress is not None:
             progress(f"== wrote {path}")
     return result
+
+
+# ---------------------------------------------------------------------------
+# Regression check: fresh run vs the committed BENCH_sim.json
+# ---------------------------------------------------------------------------
+#: ``bench --check`` flags a regression when a fresh throughput figure
+#: falls more than this fraction below the committed one.  25% absorbs
+#: machine-to-machine and run-to-run noise while still catching a real
+#: hot-path regression; being *faster* than the committed file never fails.
+CHECK_TOLERANCE = 0.25
+
+
+def compare_to_committed(
+    committed: dict[str, Any], fresh: dict[str, Any],
+    tolerance: float = CHECK_TOLERANCE,
+) -> list[str]:
+    """Regressions of ``fresh`` vs ``committed``; empty list == healthy.
+
+    Compared figures: the event-engine headline packets/s, the batched
+    packets/s (when both files carry batched cells), and the batched
+    speedup over the event engine — the last one is machine-independent,
+    so it is the strongest signal on CI hardware that differs from the
+    machine that produced the committed file.
+    """
+    problems: list[str] = []
+
+    def check(label: str, old: float | None, new: float | None) -> None:
+        if not old or new is None:
+            return
+        if new < (1.0 - tolerance) * old:
+            problems.append(
+                f"{label}: fresh {new:,.1f} is more than "
+                f"{tolerance:.0%} below committed {old:,.1f}"
+            )
+
+    old_s = committed.get("summary", {})
+    new_s = fresh.get("summary", {})
+    # Headline summaries are only comparable when they aggregate the same
+    # engine (schema-1 files predate the tag and were event-only).
+    if old_s.get("backend", "event") == new_s.get("backend", "event"):
+        check(
+            f"{old_s.get('backend', 'event')} packets/s",
+            old_s.get("packets_per_s"),
+            new_s.get("packets_per_s"),
+        )
+    old_b = committed.get("summary_batched", {})
+    new_b = fresh.get("summary_batched", {})
+    check(
+        "batched packets/s",
+        old_b.get("packets_per_s"),
+        new_b.get("packets_per_s"),
+    )
+    check(
+        "batched speedup vs event",
+        old_b.get("speedup_vs_event"),
+        new_b.get("speedup_vs_event"),
+    )
+    return problems
+
+
+def run_check(
+    committed_path: str | Path = "BENCH_sim.json",
+    repeats: int = 1,
+    tolerance: float = CHECK_TOLERANCE,
+    progress=print,
+) -> int:
+    """``python -m repro bench --check``: 0 if healthy, 1 on regression.
+
+    Re-runs the committed file's own preset (never overwriting the file)
+    and compares with :func:`compare_to_committed`.  Wired into CI's
+    non-gating perf-smoke job.
+    """
+    path = Path(committed_path)
+    if not path.exists():
+        if progress is not None:
+            progress(f"bench --check: no committed file at {path}")
+        return 1
+    committed = json.loads(path.read_text())
+    preset = committed.get("preset", "small")
+    if progress is not None:
+        progress(f"== bench --check vs {path} (preset {preset!r})")
+    fresh = run_bench(
+        preset=preset,
+        out_path=None,
+        repeats=repeats,
+        micro=False,
+        progress=progress,
+    )
+    problems = compare_to_committed(committed, fresh, tolerance=tolerance)
+    if progress is not None:
+        if problems:
+            for p in problems:
+                progress(f"REGRESSION {p}")
+        else:
+            progress(
+                f"== check ok: within {tolerance:.0%} of the committed "
+                "figures (or faster)"
+            )
+    return 1 if problems else 0

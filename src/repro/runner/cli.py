@@ -19,8 +19,10 @@ Subcommands
     directory (the successor of ``scripts/collect_results.py``).
 ``bench``
     Measure simulator throughput (packets/s, events/s) across
-    topology x routing x pattern cells plus per-hop micro benchmarks, and
-    write ``BENCH_sim.json`` (see ``docs/performance.md``).
+    topology x routing x pattern cells — on the event and batched engines
+    — plus per-hop micro benchmarks, and write ``BENCH_sim.json``.
+    ``--check`` instead compares a fresh run against the committed file
+    and exits nonzero on a >25% regression (see ``docs/performance.md``).
 ``cache``
     Inspect or clear the on-disk result/artifact cache.
 
@@ -262,9 +264,29 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.runner.bench import run_bench
+    from repro.runner.bench import run_bench, run_check
 
     _select_cache(args)
+    if args.check:
+        # The check re-runs exactly the committed file's cells (its own
+        # preset, both engines) — honouring a different preset or backend
+        # list would compare apples to oranges, so explicit flags error
+        # instead of being silently discarded.
+        if args.preset is not None or args.backends is not None:
+            raise SystemExit(
+                "bench --check always re-runs the committed file's own "
+                "preset and backends; drop --preset/--backends"
+            )
+        if args.baseline is not None or args.baseline_from:
+            raise SystemExit(
+                "bench --check compares against the committed file itself; "
+                "drop --baseline/--baseline-from"
+            )
+        return run_check(
+            committed_path=args.out,
+            repeats=args.repeats,
+            progress=None if args.quiet else print,
+        )
     baseline = None
     if args.baseline_from:
         prior = json.loads(pathlib.Path(args.baseline_from).read_text())
@@ -282,12 +304,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "note": args.baseline_note or "recorded pre-change measurement",
         }
     run_bench(
-        preset=args.preset,
+        preset=args.preset or "small",
         out_path=args.out,
         repeats=args.repeats,
         baseline=baseline,
         micro=not args.no_micro,
         progress=None if args.quiet else print,
+        backends=tuple(args.backends.split(",")) if args.backends else None,
     )
     return 0
 
@@ -366,13 +389,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench", help="measure simulator packets/s and write BENCH_sim.json"
     )
-    p.add_argument("--preset", choices=("smoke", "small", "full"), default="small",
+    p.add_argument("--preset", choices=("smoke", "small", "full"), default=None,
                    help="cell set: smoke (CI seconds), small (tracked, default), "
-                        "full (paper scale)")
+                        "full (paper scale); incompatible with --check")
     p.add_argument("--out", "-o", default="BENCH_sim.json", metavar="FILE",
                    help="output JSON path (default BENCH_sim.json)")
     p.add_argument("--repeats", type=int, default=1, metavar="N",
                    help="runs per cell, best wall time kept (default 1)")
+    p.add_argument("--backends", metavar="B1,B2",
+                   help="simulation engines to bench (default: the preset's "
+                        "list, normally event,batched)")
+    p.add_argument("--check", action="store_true",
+                   help="re-run the committed file's preset and exit nonzero "
+                        "if throughput regressed by more than 25%% "
+                        "(compares against --out, never overwrites it)")
     p.add_argument("--baseline", type=float, metavar="PKT_PER_S",
                    help="pre-change packets/s to record and compare against")
     p.add_argument("--baseline-from", metavar="FILE",

@@ -237,12 +237,18 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
                 "patterns": _PATTERNS,
                 "loads": (0.1, 0.3, 0.5, 0.7),
                 "packets_per_rank": 15,
+                # Simulation engine: "event" (reference) or "batched" (the
+                # vectorized cycle-driven backend; statistically, not
+                # event-for-event, equivalent — docs/performance.md).
+                # Override with --set backend=batched.
+                "backend": "event",
             },
             "full": {
                 "scale": "paper",
                 "patterns": _PATTERNS,
                 "loads": (0.1, 0.2, 0.3, 0.5, 0.6, 0.7),
                 "packets_per_rank": 20,
+                "backend": "event",
             },
         },
         cell_axes=("patterns", "loads"),
@@ -254,11 +260,13 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         title="Fig 7 — random traffic under minimal routing",
         fn="repro.experiments.fig7:run",
         presets={
-            "small": {"scale": "small", "loads": (0.1, 0.3, 0.5, 0.7), "packets_per_rank": 15},
+            "small": {"scale": "small", "loads": (0.1, 0.3, 0.5, 0.7),
+                      "packets_per_rank": 15, "backend": "event"},
             "full": {
                 "scale": "paper",
                 "loads": (0.1, 0.2, 0.3, 0.5, 0.6, 0.7),
                 "packets_per_rank": 20,
+                "backend": "event",
             },
         },
         cell_axes=("loads",),
@@ -275,12 +283,14 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
                 "patterns": _PATTERNS,
                 "loads": (0.1, 0.3, 0.5, 0.7),
                 "packets_per_rank": 15,
+                "backend": "event",
             },
             "full": {
                 "scale": "paper",
                 "patterns": _PATTERNS,
                 "loads": (0.1, 0.2, 0.3, 0.5, 0.6, 0.7),
                 "packets_per_rank": 20,
+                "backend": "event",
             },
         },
         cell_axes=("patterns", "loads"),
@@ -336,8 +346,10 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         title="Saturation sweep — where each topology stops absorbing load",
         fn="repro.experiments.saturation:run",
         presets={
-            "small": {"scale": "small", "packets_per_rank": 15},
-            "full": {"scale": "paper", "packets_per_rank": 20},
+            "small": {"scale": "small", "packets_per_rank": 15,
+                      "backend": "event"},
+            "full": {"scale": "paper", "packets_per_rank": 20,
+                     "backend": "event"},
         },
         tags=("extension", "simulation"),
         runtime="~2 min",
@@ -354,6 +366,9 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
                 "fail_fractions": (0.0, 0.05, 0.15),
                 "packets_per_rank": 10,
                 "recover": True,
+                # "batched" is accepted only with fail_fractions=0.0 (the
+                # batched engine has no fault schedules).
+                "backend": "event",
             },
             "full": {
                 "scale": "paper",
@@ -362,6 +377,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
                 "fail_fractions": (0.0, 0.05, 0.1, 0.2, 0.3),
                 "packets_per_rank": 20,
                 "recover": True,
+                "backend": "event",
             },
         },
         # fail_fractions deliberately stays inside the cell: the driver

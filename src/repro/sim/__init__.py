@@ -7,6 +7,7 @@ while staying tractable in Python.
 """
 
 from repro.sim.packet import Packet
+from repro.sim.batched import BatchedSimulator
 from repro.sim.faults import FaultEvent, FaultSchedule
 from repro.sim.network import NetworkSimulator, SimConfig
 from repro.sim.traffic import (
@@ -22,6 +23,7 @@ from repro.sim.stats import SimStats
 
 __all__ = [
     "Packet",
+    "BatchedSimulator",
     "NetworkSimulator",
     "SimConfig",
     "SimStats",

@@ -83,6 +83,13 @@ class SimConfig:
     #: VC genuinely deadlock (see tests/test_sim_deadlock.py).  Default off
     #: = measured-but-unbounded buffers (see module docstring).
     finite_buffers: bool = False
+    #: Which simulation engine ``build_synthetic_sim`` constructs:
+    #: ``"event"`` (this module's discrete-event simulator, the reference)
+    #: or ``"batched"`` (the numpy cycle-driven engine in
+    #: :mod:`repro.sim.batched`).  The two agree statistically, not
+    #: event-for-event — see docs/performance.md for the guarantees and the
+    #: tolerance table.  Ignored by :class:`NetworkSimulator` itself.
+    backend: str = "event"
 
     @property
     def bytes_per_ns(self) -> float:

@@ -62,6 +62,20 @@ class TrafficPattern:
         """
         raise NotImplementedError
 
+    @property
+    def batches_destinations(self) -> bool:
+        """True when this pattern is on the batched destination fast path.
+
+        One definition shared by ``OpenLoopSource.start`` and ``predraw``:
+        the two must classify a pattern identically or the event and
+        batched engines' RNG draw orders silently desynchronise.
+        """
+        return (
+            self.stochastic
+            and type(self).destination_from_u
+            is not TrafficPattern.destination_from_u
+        )
+
 
 class UniformRandomTraffic(TrafficPattern):
     name = "random"
@@ -204,6 +218,58 @@ class OpenLoopSource:
         self.remaining = packets_per_rank
         self.rng = as_rng(seed)
 
+    def predraw(self, config) -> tuple[np.ndarray, np.ndarray]:
+        """Draw this source's whole injection schedule up front.
+
+        Returns ``(t_inject, dst_ep)``: absolute injection times (cumsum of
+        the Poisson gaps) and destination endpoints for every packet this
+        source will ever fire.  The batch-synchronous backend
+        (:mod:`repro.sim.batched`) injects from these arrays instead of
+        firing ``_INJECT`` events.
+
+        The draw *order* deliberately mirrors :meth:`start` + :meth:`fire`
+        exactly — one ``exponential(size=k)`` block, then (for stochastic
+        patterns on the batched fast path) one ``random(k)`` block, then
+        any legacy per-packet ``destination()`` calls — so for a fixed seed
+        the event and batched engines inject the same packets at the same
+        times toward the same destinations (pinned by
+        ``tests/test_property_traffic.py``).  Consumes this source's RNG:
+        call it *instead of* ``start()``, never after.
+        """
+        mean_gap = config.packet_bytes / (
+            self.offered_load * config.bytes_per_ns
+        )
+        k = self.remaining
+        if k <= 0:
+            return (np.empty(0), np.empty(0, dtype=np.int64))
+        gaps = self.rng.exponential(mean_gap, size=k)
+        pattern = self.pattern
+        ep_of_rank = np.asarray(self.rank_to_endpoint, dtype=np.int64)
+        if not pattern.stochastic:
+            dst_rank = np.full(
+                k, pattern.destination(self.rank, self.rng), dtype=np.int64
+            )
+        elif pattern.batches_destinations:
+            us = self.rng.random(k)
+            dst_rank = np.fromiter(
+                (pattern.destination_from_u(self.rank, u) for u in us),
+                dtype=np.int64, count=k,
+            )
+        else:  # legacy contract: one destination() call per packet, in order
+            dst_rank = np.fromiter(
+                (pattern.destination(self.rank, self.rng) for _ in range(k)),
+                dtype=np.int64, count=k,
+            )
+        # Sequential accumulation, not np.cumsum: the event engine adds one
+        # gap at a time, and keeping the same float operations keeps the
+        # two engines' injection times bit-identical.
+        t = np.empty(k)
+        acc = 0.0
+        for i, g in enumerate(gaps.tolist()):
+            acc += g
+            t[i] = acc
+        return t, ep_of_rank[dst_rank]
+
     def start(self, net) -> None:
         mean_gap = net.config.packet_bytes / (
             self.offered_load * net.config.bytes_per_ns
@@ -223,13 +289,10 @@ class OpenLoopSource:
         # opted into the batched fast path by overriding destination_from_u;
         # other stochastic subclasses keep the legacy one-destination()-call-
         # per-packet contract.
-        batched = (
-            pattern.stochastic
-            and type(pattern).destination_from_u
-            is not TrafficPattern.destination_from_u
-        )
         self._dst_u = (
-            self.rng.random(self.remaining).tolist() if batched else None
+            self.rng.random(self.remaining).tolist()
+            if pattern.batches_destinations
+            else None
         )
         self._ep_of_rank = (
             self.rank_to_endpoint.tolist()

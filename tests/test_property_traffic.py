@@ -1,0 +1,210 @@
+"""Property tests pinning the batched traffic fast path.
+
+Two contracts keep the event and batched engines injecting *identical*
+traffic at equal seeds:
+
+1. **Rank-for-rank draw equivalence.**  For every stochastic pattern that
+   opts into the batched fast path by overriding ``destination_from_u``,
+   mapping one pre-drawn uniform through ``destination_from_u`` must give
+   the same destination as ``destination()`` fed a generator whose bounded
+   draw realises that same uniform.  (The two code paths must agree on the
+   *mapping* from raw draw to destination — the skip-self adjustment, the
+   range — for every ``(n_ranks, src, u)``.)
+2. **Predraw equals live firing.**  ``OpenLoopSource.predraw`` must emit
+   exactly the (injection time, destination endpoint) sequence that
+   ``start()`` + ``fire()`` produce against a live simulator, for every
+   pattern kind (deterministic, fast-path stochastic, and legacy
+   stochastic subclasses without ``destination_from_u``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.network import SimConfig
+from repro.sim.traffic import (
+    _PATTERNS,
+    OpenLoopSource,
+    TrafficPattern,
+    UniformRandomTraffic,
+    make_traffic,
+)
+
+#: Every registered stochastic pattern on the batched fast path (today:
+#: uniform random; the parametrisation picks up future ones by itself).
+FAST_PATH_PATTERNS = [
+    cls
+    for cls in _PATTERNS.values()
+    if cls.stochastic
+    and cls.destination_from_u is not TrafficPattern.destination_from_u
+]
+
+
+def test_fast_path_pattern_inventory():
+    # The harness below must not silently become vacuous.
+    assert UniformRandomTraffic in FAST_PATH_PATTERNS
+
+
+class _UniformStub:
+    """A Generator stand-in whose bounded draws realise given uniforms.
+
+    ``integers(m)`` returns ``int(u * m)`` for the next pre-drawn uniform
+    ``u`` — the integer the float fast path derives from the same draw —
+    so feeding ``destination()`` this stub asks: do both code paths apply
+    the same mapping from raw draw to destination?
+    """
+
+    def __init__(self, us):
+        self._us = list(us)
+        self._i = 0
+
+    def integers(self, m):
+        u = self._us[self._i]
+        self._i += 1
+        return int(u * int(m))
+
+
+@pytest.mark.parametrize("cls", FAST_PATH_PATTERNS, ids=lambda c: c.name)
+@given(
+    n_ranks=st.integers(min_value=2, max_value=4096),
+    src_frac=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    us=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+        min_size=1,
+        max_size=32,
+    ),
+)
+@settings(max_examples=200, deadline=None)
+def test_destination_from_u_matches_destination_rank_for_rank(
+    cls, n_ranks, src_frac, us
+):
+    pattern = cls(n_ranks)
+    src = int(src_frac * n_ranks)
+    stub = _UniformStub(us)
+    for u in us:
+        via_u = pattern.destination_from_u(src, u)
+        via_rng = pattern.destination(src, stub)
+        assert via_u == via_rng, (n_ranks, src, u)
+        # ... and both land in range, never on the source itself.
+        assert 0 <= via_u < n_ranks
+        assert via_u != src
+
+
+@given(
+    n_ranks=st.integers(min_value=2, max_value=1024),
+    src_frac=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    u=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+)
+@settings(max_examples=200, deadline=None)
+def test_uniform_random_covers_every_destination(n_ranks, src_frac, u):
+    # Surjectivity over the uniform: int(u * (n-1)) with the skip-self
+    # shift reaches every rank except src as u sweeps [0, 1).
+    pattern = UniformRandomTraffic(n_ranks)
+    src = int(src_frac * n_ranks)
+    dst = pattern.destination_from_u(src, u)
+    assert 0 <= dst < n_ranks and dst != src
+    if n_ranks <= 64:
+        seen = {
+            pattern.destination_from_u(src, k / (4 * n_ranks))
+            for k in range(4 * n_ranks)
+        }
+        assert seen == set(range(n_ranks)) - {src}
+
+
+# ---------------------------------------------------------------------------
+# predraw == start()/fire(): the injection schedules of the two engines.
+# ---------------------------------------------------------------------------
+class _TwoHotspots(TrafficPattern):
+    """Legacy-contract stochastic pattern (no destination_from_u)."""
+
+    name = "two-hotspots"
+
+    def destination(self, src, rng):  # noqa: ARG002
+        return int(rng.integers(2))
+
+
+class _RecordingNet:
+    """Just enough of the NetworkSimulator surface to drive one source."""
+
+    def __init__(self, config):
+        self.config = config
+        self.sent: list[tuple[float, int]] = []
+        self._events: list = []
+        self._seq = iter(range(10**9))
+
+    def schedule_inject(self, t, source):
+        self._events.append((t, source))
+
+    def send(self, src_ep, dst_ep, size=None, tag=None, t=None):  # noqa: ARG002
+        self.sent.append((t, dst_ep))
+
+    def drive(self):
+        """Fire scheduled injections in order until the source is done.
+
+        ``start()`` goes through ``schedule_inject`` ((t, source) pairs);
+        ``fire()`` pushes the simulator's flat ``(t, seq, kind, source)``
+        event tuples straight onto ``_events`` — accept both shapes.
+        """
+        while self._events:
+            self._events.sort(key=lambda ev: ev[0])
+            ev = self._events.pop(0)
+            ev[-1].fire(self, ev[0])
+
+
+def _pattern_cases():
+    return [
+        ("random", lambda n: make_traffic("random", n)),  # fast path
+        ("shuffle", lambda n: make_traffic("shuffle", n)),  # deterministic
+        ("tornado", lambda n: make_traffic("tornado", n)),  # deterministic
+        ("legacy-stochastic", lambda n: _TwoHotspots(n)),  # per-call rng
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,factory", _pattern_cases(), ids=lambda c: c if isinstance(c, str) else ""
+)
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_predraw_matches_live_firing(name, factory, seed):
+    n_ranks = 16
+    rank = 5
+    k = 12
+    config = SimConfig(concentration=2)
+    r2e = np.arange(n_ranks, dtype=np.int64) * 3  # arbitrary placement
+
+    def build():
+        return OpenLoopSource(
+            rank, int(r2e[rank]), factory(n_ranks), r2e, 0.4, k, seed=seed
+        )
+
+    t_pre, dst_pre = build().predraw(config)
+
+    net = _RecordingNet(config)
+    src = build()
+    src.start(net)
+    net.drive()
+
+    assert len(net.sent) == k == len(t_pre)
+    live_t = [t for t, _ in net.sent]
+    live_dst = [d for _, d in net.sent]
+    # Bit-identical times (same draws, same accumulation order) and
+    # identical destinations, packet for packet.
+    assert live_t == t_pre.tolist()
+    assert live_dst == dst_pre.tolist()
+
+
+def test_predraw_consumes_the_source_rng():
+    # predraw replaces start(): it advances the same generator, so calling
+    # it twice on one source must NOT replay the schedule (a second call
+    # would silently desynchronise the engines).
+    n_ranks = 8
+    r2e = np.arange(n_ranks, dtype=np.int64)
+    src = OpenLoopSource(
+        1, 1, make_traffic("random", n_ranks), r2e, 0.4, 6, seed=42
+    )
+    config = SimConfig()
+    t1, _ = src.predraw(config)
+    t2, _ = src.predraw(config)
+    assert t1.tolist() != t2.tolist()

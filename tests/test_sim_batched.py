@@ -1,0 +1,199 @@
+"""Unit contracts of the batch-synchronous backend (``repro.sim.batched``).
+
+The statistical equivalence with the event engine lives in
+``test_sim_differential.py``; this module pins the engine's own contracts:
+
+* determinism per seed, and full delivery (open-loop runs always drain);
+* **exact** uncongested latency: with no port contention the analytic
+  pipeline assembly must equal the event engine's latencies to float
+  rounding (1e-12 relative — the two accumulate the same terms in a
+  different association order);
+* self-sends are excluded from the stats exactly like the event engine;
+* unsupported features fail loudly at construction/call time rather than
+  silently falling back (faults, finite buffers, pause/resume, send(),
+  delivery callbacks, unknown policies, shared-endpoint sources).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.routing import RoutingTables, make_routing
+from repro.sim import BatchedSimulator, SimConfig
+from repro.sim.faults import FaultSchedule
+from repro.sim.traffic import OpenLoopSource, make_traffic
+from repro.experiments.common import build_synthetic_sim
+from repro.topology import build_lps
+
+
+@pytest.fixture(scope="module")
+def parts():
+    topo = build_lps(3, 5)  # 120 routers, radix 4
+    tables = RoutingTables(topo.graph)
+    return topo, tables
+
+
+def _net(parts, backend, routing="minimal", pattern="random", load=0.5,
+         n_ranks=32, packets_per_rank=6, seed=5, concentration=2):
+    topo, _tables = parts
+    return build_synthetic_sim(
+        topo,
+        routing,
+        pattern,
+        load,
+        concentration=concentration,
+        n_ranks=n_ranks,
+        packets_per_rank=packets_per_rank,
+        seed=seed,
+        backend=backend,
+    )
+
+
+class TestContracts:
+    def test_full_delivery_and_injection_parity(self, parts):
+        ev = _net(parts, "event", load=0.8).run()
+        bt = _net(parts, "batched", load=0.8).run()
+        assert bt.n_injected == ev.n_injected > 0
+        assert len(bt.latencies_ns) == bt.n_injected
+        assert len(ev.latencies_ns) == ev.n_injected
+        assert bt.t_first_inject == ev.t_first_inject
+
+    def test_deterministic_per_seed(self, parts):
+        a = _net(parts, "batched").run()
+        b = _net(parts, "batched").run()
+        assert a.latencies_ns == b.latencies_ns
+        assert a.hops == b.hops
+        assert (a.valiant_choices, a.minimal_choices, a.n_events) == (
+            b.valiant_choices, b.minimal_choices, b.n_events
+        )
+
+    def test_different_seed_differs(self, parts):
+        a = _net(parts, "batched", seed=1).run()
+        b = _net(parts, "batched", seed=2).run()
+        assert a.latencies_ns != b.latencies_ns
+
+    def test_stats_lists_stay_lists(self, parts):
+        stats = _net(parts, "batched").run()
+        assert type(stats.latencies_ns) is list
+        assert type(stats.hops) is list
+
+    def test_self_sends_excluded_like_event(self, parts):
+        # Bit shuffle maps rank 0 (and the all-ones rank) to itself; both
+        # engines must skip exactly those packets.
+        ev = _net(parts, "event", pattern="shuffle").run()
+        bt = _net(parts, "batched", pattern="shuffle").run()
+        assert ev.n_injected == bt.n_injected
+        assert ev.n_injected < 32 * 6  # some self-sends really occurred
+
+
+def _assert_latencies_exact(bt, ev):
+    """Multiset equality to float rounding (delivery order may differ)."""
+    a = sorted(bt.latencies_ns)
+    b = sorted(ev.latencies_ns)
+    assert len(a) == len(b)
+    assert a == pytest.approx(b, rel=1e-12)
+
+
+class TestExactUncongestedLatency:
+    def test_single_packet_latency_is_exact(self, parts):
+        # One packet per source: no queueing anywhere, so the batched
+        # engine's analytic pipeline must equal the event engine's
+        # hop-by-hop accumulation (same terms, different association).
+        ev = _net(parts, "event", n_ranks=2, packets_per_rank=1,
+                  pattern="neighbor", load=0.5).run()
+        bt = _net(parts, "batched", n_ranks=2, packets_per_rank=1,
+                  pattern="neighbor", load=0.5).run()
+        assert ev.n_injected == bt.n_injected == 2
+        # All minimal candidates share the path length, so even different
+        # tie-breaks give the same per-packet latency.
+        _assert_latencies_exact(bt, ev)
+        assert sorted(bt.hops) == sorted(ev.hops)
+        assert bt.t_last_delivery == pytest.approx(
+            ev.t_last_delivery, rel=1e-12
+        )
+
+    def test_sparse_open_loop_latencies_match_exactly(self, parts):
+        # Two sources at very low load: packets are far apart, no
+        # contention, and every latency must match the event engine to
+        # float rounding.
+        ev = _net(parts, "event", n_ranks=2, packets_per_rank=8,
+                  pattern="neighbor", load=0.02, seed=9).run()
+        bt = _net(parts, "batched", n_ranks=2, packets_per_rank=8,
+                  pattern="neighbor", load=0.02, seed=9).run()
+        _assert_latencies_exact(bt, ev)
+
+
+class TestUnsupportedFeaturesFailLoudly:
+    def _policy(self, parts, name="minimal"):
+        topo, tables = parts
+        return topo, tables, make_routing(name, tables, seed=0)
+
+    def test_fault_schedule_rejected(self, parts):
+        topo, tables, routing = self._policy(parts)
+        schedule = FaultSchedule([])
+        with pytest.raises(SimulationError, match="fault"):
+            BatchedSimulator(topo, routing, SimConfig(concentration=2),
+                             tables=tables, faults=schedule)
+        net = BatchedSimulator(topo, routing, SimConfig(concentration=2),
+                               tables=tables)
+        with pytest.raises(SimulationError, match="fault"):
+            net.set_fault_schedule(schedule)
+
+    def test_finite_buffers_rejected(self, parts):
+        topo, tables, routing = self._policy(parts)
+        with pytest.raises(SimulationError, match="finite"):
+            BatchedSimulator(
+                topo, routing,
+                SimConfig(concentration=2, finite_buffers=True),
+                tables=tables,
+            )
+
+    def test_send_and_pause_rejected(self, parts):
+        topo, tables, routing = self._policy(parts)
+        net = BatchedSimulator(topo, routing, SimConfig(concentration=2),
+                               tables=tables)
+        with pytest.raises(SimulationError, match="open-loop"):
+            net.send(0, 5)
+        with pytest.raises(SimulationError, match="pause"):
+            net.run(until=100.0)
+        with pytest.raises(SimulationError, match="pause"):
+            net.run(max_events=10)
+
+    def test_delivery_callback_rejected(self, parts):
+        net = _net(parts, "batched")
+        net.on_delivery = lambda pkt, t: None
+        with pytest.raises(SimulationError, match="callback"):
+            net.run()
+
+    def test_unknown_policy_rejected(self, parts):
+        topo, tables, routing = self._policy(parts)
+        routing.name = "custom-policy"
+        with pytest.raises(SimulationError, match="vectorized"):
+            BatchedSimulator(topo, routing, SimConfig(concentration=2),
+                             tables=tables)
+
+    def test_shared_endpoint_sources_rejected(self, parts):
+        topo, tables, routing = self._policy(parts)
+        net = BatchedSimulator(topo, routing, SimConfig(concentration=2),
+                               tables=tables)
+        pat = make_traffic("random", 4)
+        r2e = np.arange(4, dtype=np.int64)
+        for rank in (0, 1):
+            net.add_open_loop_source(
+                OpenLoopSource(rank, 3, pat, r2e, 0.5, 2, seed=rank)
+            )
+        with pytest.raises(SimulationError, match="one source per endpoint"):
+            net.run()
+
+    def test_unknown_backend_rejected(self, parts):
+        with pytest.raises(ParameterError, match="unknown simulator backend"):
+            _net(parts, "threaded")
+
+    def test_config_backend_field_is_honoured(self, parts):
+        topo, _ = parts
+        net = build_synthetic_sim(
+            topo, "minimal", "random", 0.5, concentration=2, n_ranks=16,
+            packets_per_rank=2, seed=0,
+            config=SimConfig(concentration=2, backend="batched"),
+        )
+        assert isinstance(net, BatchedSimulator)

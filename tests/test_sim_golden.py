@@ -1,0 +1,129 @@
+"""Golden-stats regression corpus for the event-engine simulator.
+
+``tests/golden/sim_small.json`` pins the **exact** :class:`SimStats` of a
+handful of seeded small-preset cells — every per-packet latency and hop
+count, every counter, bit for bit.  The differential harness
+(``test_sim_differential.py``) and the throughput benchmarks only watch
+aggregate numbers; this corpus is what catches *silent behaviour drift*
+— a reordered RNG draw, an off-by-one in queue accounting, a changed
+tie-break — that leaves the means within tolerance but changes the
+simulation.
+
+The corpus covers every small-size-class topology family and every
+routing policy at least once.  Floats survive the JSON round-trip exactly
+(``json`` serialises via ``repr``), so equality here is equality of the
+simulated trajectories.
+
+If a change *intentionally* alters event-engine behaviour (a new RNG
+batching scheme, a semantic fix), regenerate with::
+
+    python scripts/make_golden_sim.py
+
+and explain the regeneration in the commit message — the diff of the
+corpus is the reviewable record of what moved.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.common import build_synthetic_sim
+from repro.topology import SIM_CONFIGS
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "sim_small.json"
+
+#: The corpus cells: (family, routing, pattern, load, seed).  Small-preset
+#: topologies at reduced rank/packet counts so the corpus stays compact
+#: and the regression test stays fast.
+CELLS = [
+    ("SpectralFly", "minimal", "shuffle", 0.4, 7),
+    ("SpectralFly", "ugal", "random", 0.5, 7),
+    ("DragonFly", "valiant", "shuffle", 0.4, 7),
+    ("DragonFly", "ugal-g", "transpose", 0.3, 7),
+    ("SlimFly", "ugal", "shuffle", 0.6, 7),
+    ("BundleFly", "minimal", "random", 0.4, 7),
+]
+N_RANKS = 64
+PACKETS_PER_RANK = 5
+
+#: Every SimStats field the event engine fills for a fault-free open-loop
+#: run (fault counters included deliberately: they must stay zero).
+FIELDS = (
+    "latencies_ns",
+    "hops",
+    "bytes_delivered",
+    "t_first_inject",
+    "t_last_delivery",
+    "n_injected",
+    "max_queue_bytes",
+    "valiant_choices",
+    "minimal_choices",
+    "deadlocked",
+    "undelivered",
+    "n_events",
+    "n_dropped",
+    "n_requeued",
+    "nonminimal_hops",
+)
+
+
+def cell_id(cell) -> str:
+    family, routing, pattern, load, seed = cell
+    return f"{family}-{routing}-{pattern}-l{load}-s{seed}"
+
+
+def collect_cell(cell) -> dict:
+    """Run one corpus cell on the event backend; return its stats dict."""
+    family, routing, pattern, load, seed = cell
+    spec = SIM_CONFIGS["small"]["topologies"][family]
+    net = build_synthetic_sim(
+        spec["build"](),
+        routing,
+        pattern,
+        load,
+        concentration=spec["concentration"],
+        n_ranks=N_RANKS,
+        packets_per_rank=PACKETS_PER_RANK,
+        seed=seed,
+        backend="event",
+    )
+    stats = net.run()
+    return {field: getattr(stats, field) for field in FIELDS}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; generate it with "
+        "`python scripts/make_golden_sim.py`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenCorpus:
+    def test_corpus_matches_cell_list(self, golden):
+        assert list(golden["cells"]) == [cell_id(c) for c in CELLS]
+        assert golden["n_ranks"] == N_RANKS
+        assert golden["packets_per_rank"] == PACKETS_PER_RANK
+
+    @pytest.mark.parametrize("cell", CELLS, ids=cell_id)
+    def test_event_backend_bit_for_bit(self, golden, cell):
+        expected = golden["cells"][cell_id(cell)]
+        actual = collect_cell(cell)
+        for field in FIELDS:
+            assert actual[field] == expected[field], (
+                f"SimStats.{field} drifted in {cell_id(cell)} — if the "
+                "change is intentional, regenerate the corpus with "
+                "scripts/make_golden_sim.py and say so in the commit"
+            )
+
+    def test_corpus_spans_families_and_routings(self):
+        assert {c[0] for c in CELLS} == set(
+            SIM_CONFIGS["small"]["topologies"]
+        )
+        assert {c[1] for c in CELLS} == {
+            "minimal", "valiant", "ugal", "ugal-g"
+        }
