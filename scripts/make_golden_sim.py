@@ -22,31 +22,51 @@ for p in (str(ROOT / "src"), str(ROOT / "tests")):
 
 from test_sim_golden import (  # noqa: E402
     CELLS,
+    FAULT_CELLS,
     GOLDEN_PATH,
+    MOTIF_CELLS,
     N_RANKS,
     PACKETS_PER_RANK,
     cell_id,
     collect_cell,
+    collect_fault_cell,
+    collect_motif_cell,
+    fault_cell_id,
+    motif_cell_id,
 )
 
 
 def main() -> int:
     corpus = {
-        "schema": 1,
+        "schema": 2,
         "kind": "repro-sim-golden",
         "backend": "event",
         "n_ranks": N_RANKS,
         "packets_per_rank": PACKETS_PER_RANK,
         "cells": {},
+        "motif_cells": {},
+        "fault_cells": {},
     }
     for cell in CELLS:
         name = cell_id(cell)
         print(f"  {name}...")
         corpus["cells"][name] = collect_cell(cell)
+    for cell in MOTIF_CELLS:
+        name = motif_cell_id(cell)
+        print(f"  motif {name}...")
+        corpus["motif_cells"][name] = collect_motif_cell(cell)
+    for cell in FAULT_CELLS:
+        name = fault_cell_id(cell)
+        print(f"  faulted {name}...")
+        corpus["fault_cells"][name] = collect_fault_cell(cell)
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(corpus, indent=1) + "\n")
     n_lat = sum(len(c["latencies_ns"]) for c in corpus["cells"].values())
-    print(f"wrote {GOLDEN_PATH} ({len(CELLS)} cells, {n_lat} packets)")
+    print(
+        f"wrote {GOLDEN_PATH} ({len(CELLS)} open-loop cells / {n_lat} "
+        f"packets, {len(MOTIF_CELLS)} motif cells, "
+        f"{len(FAULT_CELLS)} faulted cells)"
+    )
     return 0
 
 

@@ -17,6 +17,35 @@ class SimulationError(ReproError, RuntimeError):
     """The network simulator reached an inconsistent state."""
 
 
+class BackendCapabilityError(SimulationError, ParameterError):
+    """A simulation backend was asked for a feature it does not implement.
+
+    The **single** error type every backend/feature mismatch funnels
+    through — engine constructors, :func:`repro.sim.capabilities.require`,
+    and registry/spec-time validation all raise this, so callers (and
+    tests) match one type instead of scattered guards.  Subclasses both
+    :class:`SimulationError` and :class:`ParameterError` because the
+    mismatch is simultaneously a simulator refusal and a bad parameter
+    choice; existing ``except`` sites of either kind keep working.
+
+    ``backend`` and ``feature`` carry the offending pair;
+    ``supported_backends`` names the engines that *do* implement the
+    feature (also spelled out in the message).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        backend: str | None = None,
+        feature: str | None = None,
+        supported_backends: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.feature = feature
+        self.supported_backends = tuple(supported_backends)
+
+
 class CellExecutionError(ReproError, RuntimeError):
     """A sweep cell's driver raised.
 

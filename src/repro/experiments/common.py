@@ -9,8 +9,8 @@ import numpy as np
 
 from repro.graphs.metrics import average_distance, diameter, girth
 from repro.partition import bisection_bandwidth
-from repro.errors import ParameterError
 from repro.routing import RoutingTables, make_routing
+from repro.sim import capabilities
 from repro.sim import (
     BatchedSimulator,
     NetworkSimulator,
@@ -129,23 +129,23 @@ def build_synthetic_sim(
 
     ``backend`` selects the engine: ``"event"`` (the discrete-event
     reference) or ``"batched"`` (the numpy cycle-driven engine, see
-    docs/performance.md); ``None`` defers to ``config.backend``.  The
-    batched engine rejects fault schedules at construction.
+    docs/performance.md); ``None`` defers to ``config.backend``.  Both
+    engines run fault schedules; the backend/feature contract lives in
+    the capability matrix (:mod:`repro.sim.capabilities`).
     """
     cfg = config or SimConfig(concentration=concentration)
     if config is None:
         cfg.concentration = concentration
     backend = backend if backend is not None else cfg.backend
+    capabilities.require(backend, capabilities.OPEN_LOOP)
+    if faults is not None:
+        capabilities.require(backend, capabilities.FAULTS)
     tables = cached_tables(topo)
     routing = make_routing(routing_name, tables, seed=seed)
     if backend == "batched":
         net = BatchedSimulator(topo, routing, cfg, tables=tables, faults=faults)
-    elif backend == "event":
-        net = NetworkSimulator(topo, routing, cfg, tables=tables, faults=faults)
     else:
-        raise ParameterError(
-            f"unknown simulator backend {backend!r}; options: event, batched"
-        )
+        net = NetworkSimulator(topo, routing, cfg, tables=tables, faults=faults)
     rank_to_ep = place_ranks(n_ranks, net.n_endpoints, seed=seed + 1)
     pattern = make_traffic(pattern_name, n_ranks)
     for rank in range(n_ranks):

@@ -36,7 +36,14 @@ def run(
     seed: int = 0,
     motif_names: tuple[str, ...] | None = None,
     baseline: str = "DragonFly",
+    backend: str = "event",
 ) -> ExperimentResult:
+    """Run the Fig. 9 motif sweep at ``scale``.
+
+    ``backend`` selects the simulation engine for every motif run:
+    ``event`` (reference) or ``batched`` (the vectorized frontier runner,
+    statistically equivalent — see docs/performance.md).
+    """
     cfg = SIM_CONFIGS[scale]
     n_ranks = cfg["n_ranks"]
     motifs = _motifs(n_ranks)
@@ -51,7 +58,8 @@ def run(
             policy = make_routing(routing, tables, seed=seed)
             sim_cfg = SimConfig(concentration=spec["concentration"])
             results[name] = run_motif(
-                topo, policy, motif, sim_cfg, placement_seed=seed + 1
+                topo, policy, motif, sim_cfg, placement_seed=seed + 1,
+                backend=backend,
             )
         base_t = results[baseline]["makespan_ns"]
         for name, res in results.items():

@@ -58,18 +58,12 @@ def run(
     splits cells along ``families`` × ``routings`` only, so one cell always
     holds its whole fraction sweep and the normalisation stays inside it.
 
-    ``backend="batched"`` is accepted only for fault-free sweeps
-    (``fail_fractions`` all zero): the batched engine has no fault
-    schedules, and those cells then run pristine (no degraded-forwarding
-    machinery, no epochs) on the vectorized engine.
+    Both engines run the full sweep: the event engine applies faults
+    per-event on its handler path, the batched engine as epoch boundaries
+    that rewrite its masked next-hop arrays (``backend="batched"``,
+    statistically equivalent — see the faulted rows of the tolerance
+    table in docs/performance.md).
     """
-    if backend != "event" and any(f != 0.0 for f in fail_fractions):
-        from repro.errors import ParameterError
-
-        raise ParameterError(
-            "backend='batched' supports only fault-free resilience cells; "
-            "use --set fail_fractions=0.0 or backend='event'"
-        )
     cfg = SIM_CONFIGS[scale]
     n_ranks = cfg["n_ranks"]
     rows: list[dict[str, Any]] = []
@@ -86,16 +80,12 @@ def run(
                     * sim_cfg.packet_bytes
                     / (offered_load * sim_cfg.bytes_per_ns)
                 )
-                schedule = (
-                    FaultSchedule.random_link_faults(
-                        topo.graph,
-                        frac,
-                        t_fail=0.25 * horizon,
-                        seed=seed * 7_919 + 1,
-                        t_recover=0.75 * horizon if recover else None,
-                    )
-                    if backend == "event"
-                    else None  # batched: fault-free cells, no schedule
+                schedule = FaultSchedule.random_link_faults(
+                    topo.graph,
+                    frac,
+                    t_fail=0.25 * horizon,
+                    seed=seed * 7_919 + 1,
+                    t_recover=0.75 * horizon if recover else None,
                 )
                 net = build_synthetic_sim(
                     topo,

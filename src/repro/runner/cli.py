@@ -50,6 +50,7 @@ import sys
 import time
 from typing import Any
 
+from repro.errors import BackendCapabilityError
 from repro.runner.executor import run_experiment
 from repro.runner.registry import EXPERIMENTS, get_experiment, list_experiments
 from repro.utils.diskcache import configure_cache, default_cache_dir, get_default_cache
@@ -437,6 +438,12 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+    except BackendCapabilityError as exc:
+        # Spec-time validation (e.g. `--set backend=...` on an experiment
+        # the backend cannot run) is a usage error, not a crash: print the
+        # message — it names the supported backends — without a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -21,7 +21,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.errors import BackendCapabilityError
 from repro.runner.spec import ExperimentSpec, resolve_callable
+from repro.sim import capabilities
 
 #: The paper's Table II LPS/SlimFly size pairs, duplicated here as literals
 #: so registry import does not pull in the experiment modules.
@@ -51,10 +53,38 @@ class ExperimentDef:
     parts: tuple[str, ...] = ()
     tags: tuple[str, ...] = ()
     runtime: str = ""  # human expectation for the small preset
+    #: Simulation features (``repro.sim.capabilities``) the driver needs
+    #: from its ``backend`` parameter.  Declaring them lets the registry
+    #: validate ``--set backend=...`` at spec time — before any topology
+    #: is built — with the canonical error naming the backends that work.
+    #: Empty for experiments that never touch a simulation engine.
+    features: tuple[str, ...] = ()
 
     @property
     def is_composite(self) -> bool:
         return bool(self.parts)
+
+    @property
+    def supported_backends(self) -> tuple[str, ...]:
+        """Backends implementing every feature this experiment needs."""
+        return capabilities.supported_backends(*self.features)
+
+    def validate_backend(self, backend: Any) -> None:
+        """Raise the canonical error unless ``backend`` can run this spec.
+
+        Called from :meth:`params` on every resolved parameter set, so an
+        invalid ``--set backend=...`` fails here — at registry/spec time
+        with the supported backends in the message — instead of surfacing
+        a raw engine error from deep inside a sweep cell.
+        """
+        if not self.features:
+            raise BackendCapabilityError(
+                f"experiment {self.name!r} does not take a backend "
+                "parameter (it declares no simulation capability "
+                "features)",
+                backend=backend,
+            )
+        capabilities.require_all(backend, self.features, context=self.name)
 
     def params(self, preset: str = "small", overrides: dict[str, Any] | None = None) -> dict[str, Any]:
         """Resolved kwargs for the driver at ``preset`` (+ CLI overrides).
@@ -76,6 +106,8 @@ class ExperimentDef:
             while target > 0 and _nesting_depth(value) < target:
                 value = (value,)
             params[key] = value
+        if "backend" in params:
+            self.validate_backend(params["backend"])
         return params
 
     def resolve(self) -> Callable[..., Any]:
@@ -254,6 +286,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         cell_axes=("patterns", "loads"),
         tags=("figure", "simulation"),
         runtime="~1 min",
+        features=(capabilities.OPEN_LOOP,),
     ),
     ExperimentDef(
         name="fig7",
@@ -272,6 +305,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         cell_axes=("loads",),
         tags=("figure", "simulation"),
         runtime="~30 s",
+        features=(capabilities.OPEN_LOOP,),
     ),
     ExperimentDef(
         name="fig8",
@@ -296,30 +330,39 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         cell_axes=("patterns", "loads"),
         tags=("figure", "simulation"),
         runtime="~1 min",
+        features=(capabilities.OPEN_LOOP,),
     ),
     ExperimentDef(
         name="fig9",
         title="Fig 9 — Ember motifs under minimal routing",
         fn="repro.experiments.fig9:run",
         presets={
-            "small": {"scale": "small", "motif_names": _MOTIFS},
-            "full": {"scale": "paper", "motif_names": _MOTIFS},
+            # backend: "event" (reference) or "batched" (vectorized
+            # frontier runner) — override with --set backend=batched.
+            "small": {"scale": "small", "motif_names": _MOTIFS,
+                      "backend": "event"},
+            "full": {"scale": "paper", "motif_names": _MOTIFS,
+                     "backend": "event"},
         },
         cell_axes=("motif_names",),
         tags=("figure", "simulation", "motifs"),
         runtime="~2 min",
+        features=(capabilities.MOTIFS,),
     ),
     ExperimentDef(
         name="fig10",
         title="Fig 10 — Ember motifs under UGAL routing",
         fn="repro.experiments.fig10:run",
         presets={
-            "small": {"scale": "small", "motif_names": _MOTIFS},
-            "full": {"scale": "paper", "motif_names": _MOTIFS},
+            "small": {"scale": "small", "motif_names": _MOTIFS,
+                      "backend": "event"},
+            "full": {"scale": "paper", "motif_names": _MOTIFS,
+                     "backend": "event"},
         },
         cell_axes=("motif_names",),
         tags=("figure", "simulation", "motifs"),
         runtime="~2 min",
+        features=(capabilities.MOTIFS,),
     ),
     ExperimentDef(
         name="fig11",
@@ -353,6 +396,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         },
         tags=("extension", "simulation"),
         runtime="~2 min",
+        features=(capabilities.OPEN_LOOP,),
     ),
     ExperimentDef(
         name="resilience-traffic",
@@ -366,8 +410,9 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
                 "fail_fractions": (0.0, 0.05, 0.15),
                 "packets_per_rank": 10,
                 "recover": True,
-                # "batched" is accepted only with fail_fractions=0.0 (the
-                # batched engine has no fault schedules).
+                # Either engine runs the faulted sweep; the batched one
+                # applies the schedule as epoch boundaries (--set
+                # backend=batched, see docs/performance.md).
                 "backend": "event",
             },
             "full": {
@@ -386,6 +431,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         cell_axes=("families", "routings"),
         tags=("extension", "simulation", "resilience"),
         runtime="~1 min",
+        features=(capabilities.OPEN_LOOP, capabilities.FAULTS),
     ),
     ExperimentDef(
         name="contention",

@@ -37,26 +37,65 @@ queueing.  Their agreement on mean latency, mean hops, throughput, and
 delivered counts is pinned statistically by
 ``tests/test_sim_differential.py``.
 
-Not supported here (use the event engine): fault schedules, finite
-(blocking) buffers, ``run(until=...)`` pause/resume, closed-loop ``send()``
-traffic and delivery callbacks (the motif DAG runner), and per-epoch
-snapshots.  Construction-time errors, not silent fallbacks.
+Beyond the original open-loop path, this engine covers the two scenario
+families the paper's figures need:
+
+* **fault schedules** (:class:`~repro.sim.faults.FaultSchedule`): fault
+  events become *epoch boundaries* in the cycle loop.  At a boundary the
+  engine mutates a live :class:`~repro.routing.tables.FaultMask` (the same
+  failure-count overlay the event engine uses, so recovery is exact) and
+  rewrites the **masked CSR-of-CSR next-hop arrays** — a vectorized
+  live-candidate filter of the pristine table — in one pass; packets
+  queued on newly dead ports are requeued or dropped with the event
+  engine's semantics (see ``docs/resilience.md``).  The one semantic
+  approximation: the event engine kills exactly the packet mid-flight on
+  a failed link, while this engine's cycle-quantized winners have already
+  "arrived" downstream — at most one packet per failed port diverges.
+* **closed-loop motif workloads** (:meth:`run_closed_loop`): the
+  dependency-driven send schedule of ``workloads/runner.py`` vectorized
+  into per-cycle frontier arrays — a message's sends become eligible when
+  its predecessors' receives land.  Motif messages have *heterogeneous
+  sizes*, so this mode keeps exact per-packet times (fractional-cycle
+  port clocks; an uncontested packet's latency equals the event engine's
+  to float rounding) and uses the cycle grid only to batch contention
+  decisions.
+
+Still not supported here (use the event engine): finite (blocking)
+buffers, ``run(until=...)`` pause/resume, ad-hoc ``send()`` calls, and
+delivery callbacks.  Every refusal goes through the capability matrix
+(:mod:`repro.sim.capabilities`) and raises the one canonical
+:class:`~repro.errors.BackendCapabilityError` — construction-time errors,
+not silent fallbacks.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import BackendCapabilityError, SimulationError
 from repro.routing.algorithms import RoutingPolicy
 from repro.routing.tables import RoutingTables
+from repro.sim import capabilities
 from repro.sim.stats import SimStats
 from repro.topology.base import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.network import SimConfig
+
+#: Closed-loop (motif) cycle quantum, in units of the open-loop cycle
+#: ``tau``.  Closed-loop mode tracks exact per-packet and per-port times,
+#: so the cycle grid only batches contention decisions and orders
+#: same-cycle arrivals (exactly, via the arrival-time tie-break) — a
+#: coarser grid costs ordering fidelity only across concurrent
+#: quiescence iterations, while shrinking the Python-loop overhead per
+#: simulated nanosecond.  Measured: factors past 1 buy little throughput
+#: (the cost is per-iteration numpy overhead, not cycle count) while the
+#: halo3d latency differential visibly loosens, so the quantum stays at
+#: the open-loop cycle.
+CLOSED_LOOP_CYCLE_FACTOR = 1
 
 # Packed waiting-set sort key layout: port | enqueue cycle | tie-break.
 # 23 bits of port (paper-scale topologies top out around ~60K directed
@@ -86,16 +125,8 @@ class BatchedSimulator:
         tables: RoutingTables | None = None,
         faults=None,
     ) -> None:
-        if faults is not None:
-            raise SimulationError(
-                "the batched backend does not support fault schedules; "
-                "use backend='event' (see docs/performance.md)"
-            )
         if config.finite_buffers:
-            raise SimulationError(
-                "the batched backend does not support finite buffers; "
-                "use backend='event'"
-            )
+            capabilities.require("batched", capabilities.FINITE_BUFFERS)
         if routing.name not in ("minimal", "valiant", "ugal", "ugal-g"):
             raise SimulationError(
                 f"no vectorized implementation of routing {routing.name!r}; "
@@ -137,6 +168,20 @@ class BatchedSimulator:
         self._link = config.link_latency_ns
         self.rng = routing.rng  # engine draws: tie-breaks, routing uniforms
 
+        #: Per-packet byte sizes in closed-loop (motif) mode; ``None`` in
+        #: open-loop mode, whose packets all weigh ``config.packet_bytes``.
+        self._msg_sizes: np.ndarray | None = None
+        # The waiting set (sorted packed keys / packet ids / next routers);
+        # also read by fault application before the first cycle runs.
+        self._w_comb = np.empty(0, dtype=np.int64)
+        self._w_idx = np.empty(0, dtype=np.int64)
+        self._w_nxt = np.empty(0, dtype=np.int64)
+        # Fault-injection state; all None until a schedule is attached and
+        # the run starts (the pristine paths never read any of it).
+        self._fault_schedule = faults
+        self._mask = None
+        self._alive_router: np.ndarray | None = None
+
     # -- public API (NetworkSimulator parity where meaningful) --------------
     def endpoint_router(self, ep: int) -> int:
         return ep // self._conc
@@ -145,15 +190,23 @@ class BatchedSimulator:
         self._sources.append(source)
 
     def send(self, *args, **kwargs):
-        raise SimulationError(
-            "the batched backend is open-loop only; use add_open_loop_source "
-            "(closed-loop send()/motifs need backend='event')"
-        )
+        # Ad-hoc open-ended send() has no batch analogue; motif DAGs go
+        # through run_closed_loop (the vectorized frontier runner) instead.
+        capabilities.require("batched", capabilities.ADHOC_SEND)
 
     def set_fault_schedule(self, schedule) -> None:
-        raise SimulationError(
-            "the batched backend does not support fault schedules"
-        )
+        """Attach a :class:`~repro.sim.faults.FaultSchedule` before ``run``.
+
+        Fault events become epoch boundaries of the cycle loop; see the
+        module docstring for the exact semantics.
+        """
+        if self._fault_schedule is not None:
+            raise SimulationError("a fault schedule is already attached")
+        if self._mask is not None or self.stats.n_events:
+            raise SimulationError(
+                "attach the fault schedule before running"
+            )
+        self._fault_schedule = schedule
 
     # -- helpers -------------------------------------------------------------
     def _edge_ids(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
@@ -172,14 +225,31 @@ class BatchedSimulator:
         offs = (self.rng.random(len(k)) * width).astype(np.int64)
         return self._nh_indices[lo + offs]
 
-    def _queue_counts(self) -> np.ndarray:
-        """Waiting packets per router output port (UGAL's queue signal)."""
+    def _port_queued_bytes(self) -> np.ndarray:
+        """Queued bytes per router output port (UGAL's queue signal).
+
+        Open-loop packets all weigh ``packet_bytes`` (a plain bincount
+        times the size, bit-identical to the pre-motif implementation);
+        closed-loop motif packets carry their own sizes.
+        """
         ports = self._w_comb >> _PORT_SHIFT
-        return np.bincount(ports[ports < self._n_dir],
-                           minlength=self._n_dir)
+        m = ports < self._n_dir
+        if self._msg_sizes is None:
+            return np.bincount(ports[m], minlength=self._n_dir) * self._size
+        return np.bincount(
+            ports[m],
+            weights=self._msg_sizes[self._w_idx[m]],
+            minlength=self._n_dir,
+        )
+
+    def _sizes_of(self, p: np.ndarray):
+        """Byte size per packet in ``p`` (scalar broadcast in open loop)."""
+        if self._msg_sizes is None:
+            return self._size
+        return self._msg_sizes[p]
 
     def _path_cost(
-        self, src: np.ndarray, dst: np.ndarray, counts: np.ndarray
+        self, src: np.ndarray, dst: np.ndarray, qbytes: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized UGAL-G sampled-path cost: (queued bytes, hops)."""
         q = np.zeros(len(src), dtype=np.int64)
@@ -189,7 +259,7 @@ class BatchedSimulator:
         while active.size:
             nxt = self._pick_minimal(at[active], dst[active])
             eid = self._edge_ids(at[active], nxt)
-            q[active] += counts[eid] * self._size
+            q[active] += qbytes[eid].astype(np.int64)
             h[active] += 1
             at[active] = nxt
             active = active[at[active] != dst[active]]
@@ -198,17 +268,20 @@ class BatchedSimulator:
     # -- the run -------------------------------------------------------------
     def run(self, until: float | None = None, max_events: int | None = None) -> SimStats:
         if until is not None or max_events is not None:
-            raise SimulationError(
-                "the batched backend has no pause/resume; run() only"
-            )
+            capabilities.require("batched", capabilities.PAUSE_RESUME)
         if self.on_delivery is not None:
-            raise SimulationError(
-                "the batched backend has no delivery callbacks; "
-                "use backend='event'"
-            )
+            capabilities.require("batched", capabilities.DELIVERY_CALLBACKS)
         n_pkts = self._inject()
         stats = self.stats
+        if self._fault_schedule is not None:
+            self._init_faults()
         if n_pkts == 0:
+            if self._mask is not None:
+                # No traffic, but the schedule's epochs must still record
+                # (the event engine drains its _FAULT events regardless).
+                for ev in self._fault_schedule.events:
+                    self._apply_fault_event(ev)
+                self._fill_epochs(np.empty(0), np.empty(0), np.empty(0, bool))
             return stats
         self._cycle_loop()
         self._drain()
@@ -280,6 +353,7 @@ class BatchedSimulator:
         self._phase = np.zeros(n, dtype=np.int64)
         self._wait = np.zeros(n, dtype=np.int64)  # queueing, in cycles
         self._uncontested = np.zeros(n, dtype=np.int64)  # hops w/o queueing
+        self._dropped = np.zeros(n, dtype=bool)  # fault losses (fault mode)
 
         # Arrival (first contention) cycle at the source router.
         t_arr = nic_done + self._link
@@ -305,15 +379,41 @@ class BatchedSimulator:
         self._w_nxt = np.empty(0, dtype=np.int64)  # downstream router
 
         pending: np.ndarray | None = None  # winners arriving next cycle
+        faulted = self._mask is not None
+        ev_ptr = 0
+        n_ev_f = len(self._ev_cycles) if faulted else 0
+        events_f = self._fault_schedule.events if faulted else ()
         c = int(c0_sorted[0])
+        if n_ev_f:
+            c = min(c, int(self._ev_cycles[0]))
         n_moves = 0
         max_q = 0
         while True:
+            grew_rq = False
+            if faulted and ev_ptr < n_ev_f and self._ev_cycles[ev_ptr] <= c:
+                # Epoch boundary: apply every schedule event due at this
+                # cycle (mask mutation + waiting-set fix-up per event,
+                # matching the event engine's per-event atomicity), then
+                # rewrite the masked next-hop arrays once and re-route the
+                # requeued packets against them.
+                rq_all = []
+                while ev_ptr < n_ev_f and self._ev_cycles[ev_ptr] <= c:
+                    rq = self._apply_fault_event(events_f[ev_ptr], c)
+                    if rq.size:
+                        rq_all.append(rq)
+                    ev_ptr += 1
+                self._rebuild_masked()
+                if rq_all:
+                    self._arrive(np.concatenate(rq_all), c, at_source=False)
+                    grew_rq = True
+
             # a) arrivals: forwarded packets from last cycle + injections.
             hi = int(np.searchsorted(c0_sorted, c, side="right"))
             newly = order[inj_ptr:hi]
             inj_ptr = hi
-            grew = bool((pending is not None and pending.size) or newly.size)
+            grew = bool(
+                (pending is not None and pending.size) or newly.size
+            ) or grew_rq
             if pending is not None and pending.size:
                 self._arrive(pending, c, at_source=False)
             if newly.size:
@@ -323,8 +423,20 @@ class BatchedSimulator:
             comb = self._w_comb
             if comb.size == 0:
                 if inj_ptr >= n:
-                    break  # drained
+                    # Drained.  Remaining schedule events still apply (the
+                    # event engine processes its _FAULT events regardless),
+                    # so recovery bookkeeping and epoch marks stay exact;
+                    # one final rewrite leaves the masked arrays reflecting
+                    # the mask's end state (pristine after full recovery).
+                    if ev_ptr < n_ev_f:
+                        while ev_ptr < n_ev_f:
+                            self._apply_fault_event(events_f[ev_ptr])
+                            ev_ptr += 1
+                        self._rebuild_masked()
+                    break
                 c = int(c0_sorted[inj_ptr])  # skip idle cycles
+                if ev_ptr < n_ev_f:
+                    c = min(c, int(self._ev_cycles[ev_ptr]))
                 continue
 
             ports = comb >> _PORT_SHIFT
@@ -380,12 +492,42 @@ class BatchedSimulator:
         at_dst = cur == dstr
         ej = p[at_dst]
         route = p[~at_dst]
+        mask_on = self._mask is not None
+        if mask_on:
+            alive = self._alive_router
+            if ej.size:
+                dead = ~alive[self._cur[ej]]
+                if dead.any():
+                    self._drop_pkts(ej[dead], "router-down")
+                    ej = ej[~dead]
         if ej.size:
             self._enqueue(ej, self._n_dir + self._dst_ep[ej], c)
         if not route.size:
             return
+        if mask_on:
+            # Mirror the event engine's degraded _arrive order: current
+            # router dead, destination router dead, TTL, then route.
+            dead = ~alive[self._cur[route]] | ~alive[self._dst_router[route]]
+            if dead.any():
+                self._drop_pkts(route[dead], "router-down")
+                route = route[~dead]
+                if not route.size:
+                    return
+            over = self._hops[route] >= self._ttl
+            if over.any():
+                self._drop_pkts(route[over], "ttl")
+                route = route[~over]
+                if not route.size:
+                    return
         if at_source:
             self._on_source(route)
+        if mask_on:
+            # A dead Valiant intermediate is abandoned (next_hop_degraded
+            # semantics): the packet heads straight for its destination.
+            inter = self._inter[route]
+            dead_int = (inter >= 0) & ~alive[np.maximum(inter, 0)]
+            if dead_int.any():
+                self._inter[route[dead_int]] = -1
         # Waypoint (inlined RoutingPolicy._toward, vectorized).
         cur = self._cur[route]
         inter = self._inter[route]
@@ -394,7 +536,16 @@ class BatchedSimulator:
         if reached.any():
             self._phase[route[reached]] = 1
         toward = np.where(has & ~reached, inter, self._dst_router[route])
-        nxt = self._pick_minimal(cur, toward)
+        if mask_on:
+            nxt = self._pick_next_live(cur, toward)
+            ok = nxt >= 0
+            if not ok.all():
+                self._drop_pkts(route[~ok], "unreachable")
+                route, cur, nxt = route[ok], cur[ok], nxt[ok]
+                if not route.size:
+                    return
+        else:
+            nxt = self._pick_minimal(cur, toward)
         self._enqueue(route, self._edge_ids(cur, nxt), c, nxt)
 
     def _on_source(self, p: np.ndarray) -> None:
@@ -412,15 +563,19 @@ class BatchedSimulator:
         if name in ("ugal", "ugal-g"):
             good = np.nonzero(inter >= 0)[0]
             if good.size:
-                counts = self._queue_counts()
-                size = self._size
+                qbytes = self._port_queued_bytes()
+                size = self._sizes_of(p[good])
                 bias = getattr(self.routing, "bias_bytes", 0)
                 g_cur, g_dst, g_int = cur[good], dst[good], inter[good]
                 if name == "ugal":
                     min_hop = self._pick_minimal(g_cur, g_dst)
                     val_hop = self._pick_minimal(g_cur, g_int)
-                    q_min = counts[self._edge_ids(g_cur, min_hop)] * size
-                    q_val = counts[self._edge_ids(g_cur, val_hop)] * size
+                    q_min = qbytes[self._edge_ids(g_cur, min_hop)].astype(
+                        np.int64
+                    )
+                    q_val = qbytes[self._edge_ids(g_cur, val_hop)].astype(
+                        np.int64
+                    )
                     h_min = self._dist[g_cur, g_dst].astype(np.int64)
                     h_val = self._dist[g_cur, g_int].astype(
                         np.int64
@@ -428,9 +583,9 @@ class BatchedSimulator:
                     cost_min = (q_min + size) * h_min
                     cost_val = (q_val + size) * h_val + bias
                 else:  # ugal-g: sampled whole-path queue sums
-                    q_min, h_min = self._path_cost(g_cur, g_dst, counts)
-                    q1, h1 = self._path_cost(g_cur, g_int, counts)
-                    q2, h2 = self._path_cost(g_int, g_dst, counts)
+                    q_min, h_min = self._path_cost(g_cur, g_dst, qbytes)
+                    q1, h1 = self._path_cost(g_cur, g_int, qbytes)
+                    q2, h2 = self._path_cost(g_int, g_dst, qbytes)
                     cost_min = (q_min + size * h_min) * h_min
                     cost_val = (q1 + q2 + size * (h1 + h2)) * (h1 + h2) + bias
                 inter[good[cost_min <= cost_val]] = -1
@@ -450,11 +605,25 @@ class BatchedSimulator:
         entries sort after every already-waiting entry of the same port
         (their cycle is the largest yet), so a sorted insert preserves the
         FIFO discipline and the global order in one pass.
+
+        Open-loop mode breaks same-cycle ties uniformly at random (the
+        batch analogue of the event engine's VC round-robin fairness).
+        Closed-loop mode tracks exact per-packet times, so the tie-break
+        encodes the packet's *arrival time within the cycle* — serving a
+        later arrival first would idle the port against the event engine's
+        continuous pipeline and systematically inflate latency.
         """
+        if self._msg_sizes is None:
+            tie = self.rng.integers(0, _ENQ_MASK, size=len(p))
+        else:
+            frac = self._t_arr[p] / self._cl_tau - (c - 1)
+            tie = np.clip(
+                (frac * (_ENQ_MASK - 1)).astype(np.int64), 0, _ENQ_MASK - 1
+            )
         comb = (
             (key << _PORT_SHIFT)
             | np.int64(c << _ENQ_SHIFT)
-            | self.rng.integers(0, _ENQ_MASK, size=len(p))
+            | tie
         )
         o = np.argsort(comb, kind="stable")
         comb = comb[o]
@@ -480,6 +649,196 @@ class BatchedSimulator:
         nx[old_at] = self._w_nxt
         self._w_nxt = nx
 
+    # -- fault epochs --------------------------------------------------------
+    def _init_faults(self) -> None:
+        """Prepare the epoch machinery for the attached schedule.
+
+        Builds the live :class:`FaultMask` (the same failure-count overlay
+        the event engine mutates, so recovery composes exactly), the
+        per-entry directed-edge ids of the flat next-hop table (one gather
+        per epoch rewrite), and the boundary cycle of every schedule event
+        (``ceil(t / tau)`` — events at a cycle's opening edge apply before
+        any packet of that cycle, the batch analogue of fault events
+        sorting below traffic events at equal timestamps).
+        """
+        g = self.topo.graph
+        self._mask = self.tables.fault_mask()
+        self._edge_head = np.repeat(
+            np.arange(g.n, dtype=np.int64), np.diff(g.indptr)
+        )
+        self._alive_router = np.ones(g.n, dtype=bool)
+        # Same non-minimal walk budget as NetworkSimulator.
+        self._ttl = 4 * self.tables.diameter + 16
+        indptr = self._nh_indptr
+        self._entry_cell = np.repeat(
+            np.arange(len(indptr) - 1, dtype=np.int64), np.diff(indptr)
+        )
+        entry_u = self._entry_cell // self.n_routers
+        self._entry_eid = self._edge_ids(entry_u, self._nh_indices)
+        self._rebuild_masked()
+        tau = self._tau
+        self._ev_cycles = np.array(
+            [int(np.ceil(ev.t / tau)) for ev in self._fault_schedule.events],
+            dtype=np.int64,
+        )
+
+    def _rebuild_masked(self) -> None:
+        """Rewrite the masked CSR-of-CSR next-hop arrays from the mask.
+
+        A pure function of the mask's failure counts: restoring every
+        fault reproduces the pristine arrays bit-for-bit, which is what
+        keeps recovery exact.  One boolean gather + bincount + cumsum over
+        the flat table per epoch boundary.
+        """
+        dead = np.asarray(self._mask._dead_edge, dtype=np.int64)
+        alive_e = dead[self._entry_eid] == 0
+        ncells = len(self._nh_indptr) - 1
+        counts = np.bincount(
+            self._entry_cell[alive_e], minlength=ncells
+        )
+        indptr = np.empty(ncells + 1, dtype=np.int64)
+        indptr[0] = 0
+        np.cumsum(counts, out=indptr[1:])
+        self._m_indptr = indptr
+        self._m_indices = self._nh_indices[alive_e]
+
+    def _pick_next_live(self, u: np.ndarray, d: np.ndarray) -> np.ndarray:
+        """Masked minimal pick with non-minimal fallback; ``-1`` = drop.
+
+        The masked arrays answer the common case in one vectorized gather;
+        pairs whose minimal set is fully severed fall back to the live
+        neighbours greedily closest to the destination under the stale
+        metric (``FaultMask.fallback_candidates``, counted in
+        ``stats.nonminimal_hops``) — rare enough to loop.
+        """
+        k = u * self.n_routers + d
+        lo = self._m_indptr[k]
+        width = self._m_indptr[k + 1] - lo
+        offs = (self.rng.random(len(k)) * width).astype(np.int64)
+        ok = width > 0
+        nxt = np.full(len(k), -1, dtype=np.int64)
+        if ok.any():
+            nxt[ok] = self._m_indices[lo[ok] + offs[ok]]
+        fb = np.nonzero(~ok)[0]
+        if fb.size:
+            mask = self._mask
+            rng = self.rng
+            stats = self.stats
+            for i in fb:
+                cands = mask.fallback_candidates(int(u[i]), int(d[i]))
+                if cands:
+                    stats.nonminimal_hops += 1
+                    nxt[i] = cands[int(rng.random() * len(cands))]
+        return nxt
+
+    def _drop_pkts(self, p: np.ndarray, reason: str) -> None:
+        """Account a batch of fault-lost packets, keyed by cause."""
+        k = int(len(p))
+        if not k:
+            return
+        self._dropped[p] = True
+        st = self.stats
+        st.n_dropped += k
+        st.drops[reason] = st.drops.get(reason, 0) + k
+
+    def _apply_fault_event(self, ev, c: int = 0) -> np.ndarray:
+        """Apply one schedule event: mutate the mask, fix up the waiting set.
+
+        Returns the packet ids pulled off newly dead ports for requeueing
+        (the caller re-routes them after the masked arrays are rebuilt).
+        Packets queued on ports *out of* a dead router are lost with it;
+        packets on ports *into* it requeue at the still-live upstream
+        router; packets crossing the ejection ports of a dead router are
+        lost — the event engine's ``_sever_port`` semantics.
+        """
+        mask = self._mask
+        kind = ev.kind
+        requeue_eids: np.ndarray | None = None
+        drop_eids: np.ndarray | None = None
+        dead_router = -1
+        if kind == "link-down":
+            newly = np.asarray(mask.fail_link(ev.a, ev.b), dtype=np.int64)
+            requeue_eids = newly
+            label = f"link-down {ev.a}-{ev.b}"
+        elif kind == "link-up":
+            mask.restore_link(ev.a, ev.b)
+            label = f"link-up {ev.a}-{ev.b}"
+        elif kind == "router-down":
+            newly = np.asarray(mask.fail_router(ev.a), dtype=np.int64)
+            self._alive_router[ev.a] = False
+            heads = self._edge_head[newly]
+            requeue_eids = newly[heads != ev.a]
+            drop_eids = newly[heads == ev.a]
+            dead_router = ev.a
+            label = f"router-down {ev.a}"
+        else:  # router-up
+            mask.restore_router(ev.a)
+            self._alive_router[ev.a] = True
+            label = f"router-up {ev.a}"
+        rq = np.empty(0, dtype=np.int64)
+        if dead_router >= 0 or (requeue_eids is not None and len(requeue_eids)):
+            ports = self._w_comb >> _PORT_SHIFT
+            bad_rq = (
+                np.isin(ports, requeue_eids)
+                if requeue_eids is not None and len(requeue_eids)
+                else np.zeros(ports.size, dtype=bool)
+            )
+            bad_dp = (
+                np.isin(ports, drop_eids)
+                if drop_eids is not None and len(drop_eids)
+                else np.zeros(ports.size, dtype=bool)
+            )
+            if dead_router >= 0:
+                ep_lo = self._n_dir + dead_router * self._conc
+                bad_dp |= (ports >= ep_lo) & (ports < ep_lo + self._conc)
+            if bad_dp.any():
+                self._drop_pkts(self._w_idx[bad_dp], "router-down")
+            if bad_rq.any():
+                rq = self._w_idx[bad_rq]
+                self.stats.n_requeued += int(rq.size)
+                # Credit the cycles spent queueing on the dead port, which
+                # the winner-pick accounting will never see (the packet
+                # re-enqueues with a fresh cycle stamp).
+                enq = (self._w_comb[bad_rq] >> _ENQ_SHIFT) & _ENQ_MASK
+                self._wait[rq] += c - enq
+            keep = ~(bad_rq | bad_dp)
+            if not keep.all():
+                self._w_comb = self._w_comb[keep]
+                self._w_idx = self._w_idx[keep]
+                self._w_nxt = self._w_nxt[keep]
+        # Epoch snapshot; injected/delivered counts are only knowable at
+        # drain time (latencies assemble analytically) and are filled in
+        # by _fill_epochs.
+        self.stats.epochs.append(
+            {
+                "t": ev.t,
+                "label": label,
+                "injected": 0,
+                "delivered": 0,
+                "dropped": self.stats.n_dropped,
+                "requeued": self.stats.n_requeued,
+                "bytes_delivered": 0,
+            }
+        )
+        return rq
+
+    def _fill_epochs(
+        self, t0: np.ndarray, t_del: np.ndarray, delivered: np.ndarray
+    ) -> None:
+        """Patch the drain-time counters into the recorded epoch snapshots."""
+        sizes = self._msg_sizes
+        for ep in self.stats.epochs:
+            t = ep["t"]
+            ep["injected"] = int((t0 <= t).sum()) if len(t0) else 0
+            if len(t_del):
+                dm = delivered & (t_del <= t)
+                ep["delivered"] = int(dm.sum())
+                ep["bytes_delivered"] = (
+                    int(dm.sum()) * self._size
+                    if sizes is None
+                    else int(sizes[dm].sum())
+                )
+
     def _drain(self) -> None:
         """Assemble per-packet latencies analytically and fill SimStats.
 
@@ -503,9 +862,421 @@ class BatchedSimulator:
             + self._wait * S
         )
         t_del = self._t0 + lat
-        order = np.argsort(t_del, kind="stable")  # event-engine-ish order
         stats = self.stats
+        if self._mask is not None:
+            # Fault mode: dropped packets never delivered; their lat/t_del
+            # entries are meaningless and are excluded here.
+            keep = ~self._dropped
+            lat = lat[keep]
+            hops = hops[keep]
+            t_del_k = t_del[keep]
+            order = np.argsort(t_del_k, kind="stable")
+            stats.latencies_ns = lat[order].tolist()
+            stats.hops = hops[order].tolist()
+            stats.bytes_delivered = int(len(lat)) * self._size
+            if len(t_del_k):
+                stats.t_last_delivery = float(t_del_k.max())
+            self._fill_epochs(self._t0, t_del, keep)
+            return
+        order = np.argsort(t_del, kind="stable")  # event-engine-ish order
         stats.latencies_ns = lat[order].tolist()
         stats.hops = hops[order].tolist()
         stats.bytes_delivered = int(len(lat)) * self._size
         stats.t_last_delivery = float(t_del.max())
+
+    # -- closed-loop motif workloads -----------------------------------------
+    def run_closed_loop(self, messages, rank_to_ep) -> SimStats:
+        """Run a dependency-driven message DAG; returns the filled stats.
+
+        The batch analogue of the event engine's motif runner
+        (:func:`repro.workloads.runner.run_motif`): message ``m`` may enter
+        the network only after every message in ``m.deps`` is *delivered*,
+        plus ``m.compute_ns``.  Instead of delivery callbacks, the engine
+        keeps **per-cycle frontier arrays**: each cycle's deliveries
+        decrement their dependents' pending-dependency counts in one
+        scatter, the newly eligible messages NIC-serialize through the
+        exact per-endpoint FIFO recurrence, and their source-router
+        arrivals join the packed-key waiting set at the right cycle.
+
+        Motif messages have heterogeneous sizes, so this mode keeps exact
+        per-packet times: output ports carry fractional-cycle clocks (a
+        port serializes ``size / bandwidth`` exactly, and several small
+        messages may cross one port within a single cycle), and the cycle
+        grid only batches the contention decisions.  An uncontested
+        packet's end-to-end latency therefore equals the event engine's to
+        float rounding; under contention the two engines may order
+        same-cycle winners differently (FIFO by enqueue cycle with random
+        tie-breaks here, exact arrival order + VC round-robin there),
+        which is the statistical divergence the differential harness
+        bounds (``tests/test_sim_differential.py``).
+        """
+        if self._sources:
+            raise SimulationError(
+                "closed-loop runs cannot be mixed with open-loop sources"
+            )
+        if self._fault_schedule is not None:
+            # The matrix covers single features; the motifs+faults *combo*
+            # has no API path on either engine (run_motif takes no faults)
+            # — this defensive guard still speaks the canonical type.
+            raise BackendCapabilityError(
+                "the batched backend does not combine 'motifs' with "
+                "'faults' in one run; no engine offers faulted motif "
+                "runs yet",
+                backend="batched",
+                feature=capabilities.FAULTS,
+            )
+        if self.on_delivery is not None:
+            capabilities.require("batched", capabilities.DELIVERY_CALLBACKS)
+        n_msgs = len(messages)
+        stats = self.stats
+        self.closed_loop_delivered = 0
+        if n_msgs == 0:
+            return stats
+        mids = np.array([m.mid for m in messages], dtype=np.int64)
+        if not np.array_equal(mids, np.arange(n_msgs)):
+            raise SimulationError(
+                "closed-loop messages must carry ids 0..n-1 in list order"
+            )
+        r2e = np.asarray(rank_to_ep, dtype=np.int64)
+        self._msrc_ep = r2e[[m.src_rank for m in messages]]
+        self._dst_ep = r2e[[m.dst_rank for m in messages]]
+        self._msg_sizes = np.array([m.size for m in messages], dtype=np.int64)
+        self._mcompute = np.array([m.compute_ns for m in messages])
+        self._self_send = self._msrc_ep == self._dst_ep
+
+        # Dependents CSR (message d -> the messages waiting on d) and the
+        # per-message pending-dependency counters: the frontier arrays.
+        n_deps = np.array([len(m.deps) for m in messages], dtype=np.int64)
+        dep_from = np.array(
+            [d for m in messages for d in m.deps], dtype=np.int64
+        )
+        dep_to = np.repeat(np.arange(n_msgs, dtype=np.int64), n_deps)
+        o = np.argsort(dep_from, kind="stable")
+        self._dep_indices = dep_to[o]
+        counts = np.bincount(dep_from, minlength=n_msgs)
+        self._dep_indptr = np.empty(n_msgs + 1, dtype=np.int64)
+        self._dep_indptr[0] = 0
+        np.cumsum(counts, out=self._dep_indptr[1:])
+        self._pending = n_deps.copy()
+        self._released = np.zeros(n_msgs, dtype=bool)
+
+        # Per-message state (same attribute names the shared _arrive /
+        # _enqueue / _on_source machinery reads).
+        self._t_ready = np.zeros(n_msgs)
+        self._t_created = np.zeros(n_msgs)
+        self._t_arr = np.zeros(n_msgs)
+        self._t_del = np.full(n_msgs, np.inf)
+        self._done = np.zeros(n_msgs, dtype=bool)
+        self._dst_router = self._dst_ep // self._conc
+        self._cur = self._msrc_ep // self._conc
+        self._hops = np.zeros(n_msgs, dtype=np.int64)
+        self._inter = np.full(n_msgs, -1, dtype=np.int64)
+        self._phase = np.zeros(n_msgs, dtype=np.int64)
+        self._dropped = np.zeros(n_msgs, dtype=bool)
+
+        # Fractional-cycle clocks: NIC per endpoint, output port per
+        # directed edge + ejection port per endpoint.
+        self._ns_per_byte = 1.0 / self.config.bytes_per_ns
+        self._nic_free = np.zeros(self.n_endpoints)
+        self._port_free = np.zeros(self._n_dir + self.n_endpoints)
+        self._cl_tau = self._tau * CLOSED_LOOP_CYCLE_FACTOR
+        self._arrivals: dict[int, list] = {}
+        self._arr_heap: list[int] = []
+        self._cl_moves = 0
+
+        self._w_comb = np.empty(0, dtype=np.int64)
+        self._w_idx = np.empty(0, dtype=np.int64)
+        self._w_nxt = np.empty(0, dtype=np.int64)
+
+        roots = np.nonzero(self._pending == 0)[0]
+        self._released[roots] = True
+        # Event-runner parity: roots inject in message order, triggered at
+        # t = 0 (their compute delay offsets the injection stamp).
+        self._send_batch(roots, np.zeros(len(roots)), -1)
+        self._cl_cycle_loop()
+        self._cl_drain()
+        return stats
+
+    def _cl_push(self, ids: np.ndarray, cyc: np.ndarray,
+                 at_source: bool) -> None:
+        """File a batch of router arrivals under their due cycles."""
+        for cv in np.unique(cyc).tolist():
+            chunk = ids[cyc == cv]
+            lst = self._arrivals.get(cv)
+            if lst is None:
+                lst = self._arrivals[cv] = []
+                heapq.heappush(self._arr_heap, cv)
+            lst.append((chunk, at_source))
+
+    def _release_deps(
+        self, d_ids: np.ndarray, t_del: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scatter a delivery batch into the frontier arrays.
+
+        Decrements every dependent's pending counter, folds the delivery
+        times into ``t_ready`` (the event runner triggers a message at the
+        delivery that zeroes its counter — the max over its deps), and
+        returns the newly eligible messages with their trigger times.
+        """
+        indptr = self._dep_indptr
+        starts = indptr[d_ids]
+        lens = indptr[d_ids + 1] - starts
+        total = int(lens.sum())
+        empty = np.empty(0, dtype=np.int64)
+        if total == 0:
+            return empty, np.empty(0)
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lens) - lens, lens
+        )
+        dependents = self._dep_indices[np.repeat(starts, lens) + offs]
+        np.maximum.at(self._t_ready, dependents, np.repeat(t_del, lens))
+        np.subtract.at(self._pending, dependents, 1)
+        cand = np.unique(dependents)
+        newly = cand[(self._pending[cand] == 0) & ~self._released[cand]]
+        if newly.size:
+            self._released[newly] = True
+        return newly, self._t_ready[newly]
+
+    def _send_batch(self, ids: np.ndarray, t_call: np.ndarray,
+                    c: int) -> None:
+        """Inject newly eligible messages (the event runner's ``inject``).
+
+        ``t_call`` is each message's trigger time (the delivery that freed
+        it); the injection stamp is ``t_call + compute_ns``.  Self-sends
+        complete instantly — exactly like ``NetworkSimulator.send`` — and
+        may release further messages, so the loop iterates to the closure.
+        NIC serialization follows the event engine's recurrence: a NIC
+        busy *at the trigger time* chains the message straight off the
+        previous completion (even into the compute window); an idle one
+        starts at the stamp.
+        """
+        stats = self.stats
+        nspb = self._ns_per_byte
+        link = self._link
+        tau = self._cl_tau
+        sizes = self._msg_sizes
+        nic_free = self._nic_free
+        t_arr = self._t_arr
+        while ids.size:
+            t_stamp = t_call + self._mcompute[ids]
+            self._t_created[ids] = t_stamp
+            selfm = self._self_send[ids]
+            net_ids = ids[~selfm]
+            if net_ids.size:
+                nt_call = t_call[~selfm]
+                nt_stamp = t_stamp[~selfm]
+                stats.n_injected += int(net_ids.size)
+                first = float(nt_stamp.min())
+                if first < stats.t_first_inject:
+                    stats.t_first_inject = first
+                # Per-endpoint FIFO in trigger order (the event engine's
+                # send-call order).  The recurrence — a busy NIC chains the
+                # next message straight off the previous completion, an
+                # idle one starts at the stamp — runs as the same padded
+                # 2-D scan _inject uses: one vector op per message *rank
+                # within its endpoint*, not one per message.
+                order = np.lexsort((net_ids, nt_call))
+                oids = net_ids[order]
+                eps = self._msrc_ep[oids]
+                g = np.argsort(eps, kind="stable")
+                oids = oids[g]
+                eps = eps[g]
+                tc = nt_call[order][g]
+                ts = nt_stamp[order][g]
+                S = sizes[oids] * nspb
+                uniq, idx0, cnt = np.unique(
+                    eps, return_index=True, return_counts=True
+                )
+                kmax = int(cnt.max())
+                rows = np.repeat(
+                    np.arange(len(uniq), dtype=np.int64), cnt
+                )
+                cols = np.arange(len(oids), dtype=np.int64) - np.repeat(
+                    idx0, cnt
+                )
+                tc2 = np.full((len(uniq), kmax), -np.inf)
+                ts2 = np.full((len(uniq), kmax), -np.inf)
+                S2 = np.zeros((len(uniq), kmax))
+                tc2[rows, cols] = tc
+                ts2[rows, cols] = ts
+                S2[rows, cols] = S
+                done2 = np.empty_like(tc2)
+                prev = nic_free[uniq]
+                for j in range(kmax):
+                    start = np.where(prev > tc2[:, j], prev, ts2[:, j])
+                    done2[:, j] = start + S2[:, j]
+                    prev = done2[:, j]
+                nic_free[uniq] = done2[rows, cols][
+                    np.concatenate([idx0[1:] - 1, [len(oids) - 1]])
+                ]
+                t0 = done2[rows, cols] + link
+                t_arr[oids] = t0
+                cyc = np.ceil(t0 / tau).astype(np.int64)
+                np.maximum(cyc, max(c, 0), out=cyc)
+                self._cl_push(oids, cyc, at_source=True)
+            s_ids = ids[selfm]
+            if not s_ids.size:
+                break
+            # Instant completion; dependents may cascade.
+            t_del = t_stamp[selfm]
+            self._done[s_ids] = True
+            self._t_del[s_ids] = t_del
+            ids, t_call = self._release_deps(s_ids, t_del)
+
+    def _cl_cycle_loop(self) -> None:
+        tau = self._cl_tau
+        switch = self._switch
+        link = self._link
+        nspb = self._ns_per_byte
+        n_dir = self._n_dir
+        sizes = self._msg_sizes
+        t_arr = self._t_arr
+        port_free = self._port_free
+        max_q = 0
+        if not self._arr_heap:
+            return
+        c = self._arr_heap[0]
+        while True:
+            # Work the cycle to quiescence: arrivals merge into the waiting
+            # set, winners cross their ports, their downstream arrivals may
+            # land back *in this same cycle* (a hop takes switch + S + link
+            # ≈ a third of tau at paper parameters, so the event engine
+            # routinely moves a packet several hops inside one cycle
+            # window), deliveries release frontier messages whose NIC
+            # completions may also land here.  Only when no step produces
+            # work does the cycle advance — this keeps ports work-
+            # conserving and arrival-ordered against the event engine.
+            progressed = False
+            if self._arr_heap and self._arr_heap[0] <= c:
+                # Consolidate every chunk due this cycle into at most two
+                # _arrive batches (source vs forwarded): the FIFO order
+                # inside the waiting set comes from the arrival-time
+                # tie-break, not the merge order, so batching is free —
+                # and one 500-packet _arrive costs a fraction of ten
+                # 50-packet ones.
+                src_chunks: list[np.ndarray] = []
+                fwd_chunks: list[np.ndarray] = []
+                while self._arr_heap and self._arr_heap[0] <= c:
+                    for chunk, at_src in self._arrivals.pop(
+                        heapq.heappop(self._arr_heap)
+                    ):
+                        (src_chunks if at_src else fwd_chunks).append(chunk)
+                if fwd_chunks:
+                    self._arrive(
+                        fwd_chunks[0] if len(fwd_chunks) == 1
+                        else np.concatenate(fwd_chunks),
+                        c, at_source=False,
+                    )
+                    progressed = True
+                if src_chunks:
+                    self._arrive(
+                        src_chunks[0] if len(src_chunks) == 1
+                        else np.concatenate(src_chunks),
+                        c, at_source=True,
+                    )
+                    progressed = True
+            if progressed and self._w_comb.size:
+                ports = self._w_comb >> _PORT_SHIFT
+                m = ports < n_dir
+                if m.any():
+                    qb = np.bincount(
+                        ports[m], weights=sizes[self._w_idx[m]]
+                    )
+                    if qb.size and int(qb.max()) > max_q:
+                        max_q = int(qb.max())
+
+            # Contention: a port serves head-of-queue packets while its
+            # fractional clock stays inside the cycle — several small
+            # messages may cross one port per cycle, one large message
+            # blocks its port for the cycles its serialization spans.
+            limit = (c + 1) * tau
+            if self._w_comb.size:
+                comb = self._w_comb
+                ports = comb >> _PORT_SHIFT
+                first = np.empty(comb.size, dtype=bool)
+                first[0] = True
+                np.not_equal(ports[1:], ports[:-1], out=first[1:])
+                fpos = np.nonzero(first)[0]
+                fports = ports[fpos]
+                elig = port_free[fports] < limit
+                if elig.any():
+                    progressed = True
+                    wpos = fpos[elig]
+                    wports = fports[elig]
+                    widx = self._w_idx[wpos]
+                    tp = t_arr[widx]
+                    pf = port_free[wports]
+                    S = sizes[widx] * nspb
+                    # Port idle at the packet's arrival: the event engine
+                    # charges the switch stage and starts at the arrival
+                    # time; a queued packet chains straight off the
+                    # previous transmission with no switch delay.
+                    done = np.where(pf <= tp, tp + switch + S, pf + S)
+                    port_free[wports] = done
+                    eject = wports >= n_dir
+                    ej = widx[eject]
+                    mv = ~eject
+                    moved = widx[mv]
+                    if moved.size:
+                        self._cur[moved] = self._w_nxt[wpos][mv]
+                        self._hops[moved] += 1
+                        ta = done[mv] + link
+                        t_arr[moved] = ta
+                        cyc = np.maximum(
+                            c, np.ceil(ta / tau).astype(np.int64)
+                        )
+                        self._cl_push(moved, cyc, at_source=False)
+                        self._cl_moves += int(moved.size)
+                    keep = np.ones(comb.size, dtype=bool)
+                    keep[wpos] = False
+                    self._w_comb = comb[keep]
+                    self._w_idx = self._w_idx[keep]
+                    self._w_nxt = self._w_nxt[keep]
+                    if ej.size:
+                        td = done[eject] + link
+                        self._done[ej] = True
+                        self._t_del[ej] = td
+                        newly, t_call = self._release_deps(ej, td)
+                        if newly.size:
+                            self._send_batch(newly, t_call, c)
+            if progressed:
+                continue
+
+            # Advance — skipping cycles in which nothing can happen.
+            if self._w_comb.size:
+                ports = self._w_comb >> _PORT_SHIFT
+                first = np.empty(ports.size, dtype=bool)
+                first[0] = True
+                np.not_equal(ports[1:], ports[:-1], out=first[1:])
+                ready_c = int(port_free[ports[first]].min() // tau)
+                nxt = max(c + 1, ready_c)
+                if self._arr_heap:
+                    nxt = min(nxt, self._arr_heap[0])
+                c = max(c + 1, nxt)
+            elif self._arr_heap:
+                c = max(c + 1, self._arr_heap[0])
+            else:
+                break
+            if c >= _ENQ_MASK:  # pragma: no cover - absurdly long run
+                raise SimulationError(
+                    "batched run exceeded the cycle budget; use the event "
+                    "backend for simulations this long"
+                )
+        self.stats.max_queue_bytes = max_q
+
+    def _cl_drain(self) -> None:
+        """Fill SimStats from the per-message arrays, in delivery order."""
+        stats = self.stats
+        self.closed_loop_delivered = int(self._done.sum())
+        d = np.nonzero(self._done & ~self._self_send)[0]
+        if not d.size:
+            return
+        td = self._t_del[d]
+        o = np.argsort(td, kind="stable")
+        d = d[o]
+        lat = self._t_del[d] - self._t_created[d]
+        stats.latencies_ns = lat.tolist()
+        stats.hops = self._hops[d].tolist()
+        stats.bytes_delivered = int(self._msg_sizes[d].sum())
+        stats.t_last_delivery = float(self._t_del[d].max())
+        stats.n_events = 2 * int(d.size) + self._cl_moves

@@ -91,6 +91,13 @@ class SimConfig:
     #: tolerance table.  Ignored by :class:`NetworkSimulator` itself.
     backend: str = "event"
 
+    def __post_init__(self) -> None:
+        # Consult the capability matrix up front: an unknown backend fails
+        # at config construction, not deep inside an engine.
+        from repro.sim.capabilities import check_backend
+
+        check_backend(self.backend, context="SimConfig")
+
     @property
     def bytes_per_ns(self) -> float:
         return self.link_bandwidth_gbps / 8.0

@@ -1,0 +1,211 @@
+"""Unit tests for the benchmark harness (``repro.runner.bench``).
+
+Timing *numbers* are machine noise and are never asserted; what is pinned
+here is the machinery: cells run the work they claim (delivered counts,
+backends, workload labels), the scenario cells (motif + faulted) exist
+per backend, the summaries aggregate what they say they aggregate, and
+``compare_to_committed`` flags exactly the regressions it documents —
+including the new per-scenario speedups.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import bench
+from repro.runner.bench import (
+    BENCH_PRESETS,
+    compare_to_committed,
+    run_bench,
+    run_cell,
+    run_faulted_cell,
+    run_motif_cell,
+    run_scenarios,
+    summarize,
+    summarize_scenarios,
+)
+from repro.topology import SIM_CONFIGS
+
+#: A micro preset: same shape as the real ones, sized for unit tests.
+_TINY = {
+    "scale": "small",
+    "topologies": ("SpectralFly",),
+    "cells": (("minimal", "shuffle"),),
+    "load": 0.5,
+    "n_ranks": 16,
+    "packets_per_rank": 2,
+    "backends": ("event", "batched"),
+    "scenarios": {
+        "motif": {"topology": "SpectralFly", "routing": "minimal",
+                  "motif": "sweep3d", "n_ranks": 16},
+        "faulted": {"topology": "SpectralFly", "routing": "minimal",
+                    "pattern": "random", "load": 0.5, "n_ranks": 16,
+                    "packets_per_rank": 3, "fail_fraction": 0.05,
+                    "recover": True},
+    },
+}
+
+
+@pytest.fixture
+def tiny_preset(monkeypatch):
+    monkeypatch.setitem(BENCH_PRESETS, "tiny", _TINY)
+    return "tiny"
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return SIM_CONFIGS["small"]["topologies"]["SpectralFly"]["build"]()
+
+
+class TestCells:
+    def test_run_cell_reports_work_done(self, topo):
+        row = run_cell(topo, "minimal", "shuffle", 0.5, concentration=4,
+                       n_ranks=16, packets_per_rank=2, backend="event")
+        assert row["backend"] == "event"
+        assert row["delivered"] > 0
+        assert row["wall_s"] >= 0 and row["packets_per_s"] > 0
+
+    def test_run_motif_cell_per_backend(self, topo):
+        rows = {
+            be: run_motif_cell(topo, "minimal", "sweep3d", 4, n_ranks=16,
+                               backend=be)
+            for be in ("event", "batched")
+        }
+        for be, row in rows.items():
+            assert row["workload"] == "motif:sweep3d"
+            assert row["backend"] == be
+            assert row["delivered"] == row["messages"] > 0
+        # Identical DAG on both engines.
+        assert rows["event"]["messages"] == rows["batched"]["messages"]
+
+    def test_run_motif_cell_unknown_kind(self, topo):
+        with pytest.raises(ValueError, match="unknown bench motif"):
+            run_motif_cell(topo, "minimal", "nope", 4, n_ranks=16)
+
+    def test_run_faulted_cell_applies_the_schedule(self, topo):
+        row = run_faulted_cell(
+            topo, "minimal", "random", 0.5, concentration=4, n_ranks=16,
+            packets_per_rank=3, fail_fraction=0.05, backend="batched",
+        )
+        assert row["workload"] == "faulted:0.05"
+        assert row["backend"] == "batched"
+        assert row["delivered"] > 0
+
+    def test_make_motif_kinds(self):
+        for kind in ("fft-balanced", "fft-unbalanced", "halo3d", "sweep3d"):
+            m = bench._make_motif(kind, 16)
+            assert m.generate()
+
+
+class TestScenarios:
+    def test_run_scenarios_covers_workloads_and_backends(self, tiny_preset):
+        rows = run_scenarios(tiny_preset)
+        assert {r["workload"].split(":")[0] for r in rows} == {
+            "motif", "faulted"
+        }
+        assert {r["backend"] for r in rows} == {"event", "batched"}
+        assert len(rows) == 4
+
+    def test_run_scenarios_empty_without_section(self, monkeypatch):
+        monkeypatch.setitem(
+            BENCH_PRESETS, "bare", {k: v for k, v in _TINY.items()
+                                    if k != "scenarios"}
+        )
+        assert run_scenarios("bare") == []
+
+    def test_summarize_scenarios_speedups(self):
+        rows = [
+            {"workload": "motif:fft", "backend": "event", "wall_s": 3.0},
+            {"workload": "motif:fft", "backend": "batched", "wall_s": 1.0},
+            {"workload": "faulted:0.1", "backend": "event", "wall_s": 4.0},
+            {"workload": "faulted:0.1", "backend": "batched", "wall_s": 2.0},
+        ]
+        out = summarize_scenarios(rows)
+        assert out == {
+            "motif_speedup_vs_event": 3.0,
+            "faulted_speedup_vs_event": 2.0,
+        }
+
+    def test_summarize_scenarios_needs_both_backends(self):
+        rows = [{"workload": "motif:fft", "backend": "event", "wall_s": 3.0}]
+        assert summarize_scenarios(rows) == {}
+
+
+class TestRunBench:
+    def test_run_bench_writes_scenario_sections(self, tiny_preset, tmp_path):
+        out = tmp_path / "bench.json"
+        result = run_bench(preset=tiny_preset, out_path=out, micro=False,
+                           progress=None)
+        assert out.exists()
+        on_disk = json.loads(out.read_text())
+        assert on_disk["preset"] == tiny_preset
+        for payload in (result, on_disk):
+            assert payload["summary"]["backend"] == "event"
+            assert "summary_batched" in payload
+            assert "scenario_cells" in payload
+            ss = payload["summary_scenarios"]
+            assert set(ss) == {
+                "motif_speedup_vs_event", "faulted_speedup_vs_event"
+            }
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench preset"):
+            run_bench(preset="nope", out_path=None, progress=None)
+
+    def test_summarize_aggregates(self):
+        rows = [
+            {"delivered": 10, "events": 100, "wall_s": 1.0,
+             "packets_per_s": 10.0},
+            {"delivered": 30, "events": 300, "wall_s": 1.0,
+             "packets_per_s": 30.0},
+        ]
+        s = summarize(rows)
+        assert s["total_packets"] == 40
+        assert s["packets_per_s"] == 20.0
+        assert s["median_cell_packets_per_s"] == 20.0
+
+
+class TestCompareToCommitted:
+    def _base(self):
+        return {
+            "summary": {"backend": "event", "packets_per_s": 100.0},
+            "summary_batched": {"packets_per_s": 400.0,
+                                "speedup_vs_event": 4.0},
+            "summary_scenarios": {"motif_speedup_vs_event": 3.0,
+                                  "faulted_speedup_vs_event": 4.0},
+        }
+
+    def test_healthy_within_tolerance(self):
+        committed = self._base()
+        fresh = self._base()
+        fresh["summary"]["packets_per_s"] = 80.0  # -20% < 25% tolerance
+        assert compare_to_committed(committed, fresh) == []
+
+    def test_faster_never_fails(self):
+        committed = self._base()
+        fresh = self._base()
+        fresh["summary_scenarios"]["motif_speedup_vs_event"] = 9.0
+        assert compare_to_committed(committed, fresh) == []
+
+    def test_scenario_speedup_regression_is_flagged(self):
+        committed = self._base()
+        fresh = self._base()
+        fresh["summary_scenarios"]["motif_speedup_vs_event"] = 1.0
+        problems = compare_to_committed(committed, fresh)
+        assert any("motif_speedup_vs_event" in p for p in problems)
+
+    def test_headline_regression_is_flagged(self):
+        committed = self._base()
+        fresh = self._base()
+        fresh["summary"]["packets_per_s"] = 10.0
+        problems = compare_to_committed(committed, fresh)
+        assert any("packets/s" in p for p in problems)
+
+    def test_mismatched_headline_backends_not_compared(self):
+        committed = self._base()
+        fresh = self._base()
+        fresh["summary"] = {"backend": "batched", "packets_per_s": 1.0}
+        problems = compare_to_committed(committed, fresh)
+        assert not any(p.startswith("event packets/s") for p in problems)

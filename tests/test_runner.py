@@ -131,6 +131,50 @@ def test_scalar_override_for_tuple_param_is_wrapped():
     assert fig11.params("small", {"pairs": one_pair})["pairs"] == (one_pair,)
 
 
+def test_backend_overrides_validate_at_spec_time():
+    # Regression: `--set backend=batched` on an experiment whose features
+    # the backend lacks (or an unknown backend) used to surface a raw
+    # engine/driver error deep inside the first sweep cell.  The registry
+    # now consults the capability matrix in params()/spec(), so the error
+    # is the canonical type, arrives before any topology is built, and
+    # names the backends that would work.
+    from repro.errors import BackendCapabilityError
+
+    # Simulation experiments accept both engines...
+    for name in ("fig6", "fig7", "fig8", "fig9", "fig10", "saturation",
+                 "resilience-traffic"):
+        exp = get_experiment(name)
+        for backend in exp.supported_backends:
+            assert exp.params("small", {"backend": backend})[
+                "backend"
+            ] == backend
+        assert set(exp.supported_backends) == {"event", "batched"}
+
+    # ... an unknown backend is rejected by name, with the options listed.
+    with pytest.raises(BackendCapabilityError, match="event, batched"):
+        get_experiment("fig6").params("small", {"backend": "threaded"})
+    with pytest.raises(BackendCapabilityError, match="unknown"):
+        get_experiment("fig6").spec("small", {"backend": "threaded"})
+
+    # ... and a non-simulation experiment refuses the override outright
+    # instead of passing an unexpected kwarg to its driver.
+    for name in ("table1", "table2", "fig3", "survey"):
+        with pytest.raises(BackendCapabilityError, match="backend"):
+            get_experiment(name).params("small", {"backend": "batched"})
+
+
+def test_simulation_experiments_declare_features():
+    # Every experiment with a backend parameter must declare its feature
+    # needs, or the spec-time validation cannot protect it.
+    for exp in list_experiments(include_composite=False):
+        for preset in exp.presets:
+            if "backend" in exp.presets[preset]:
+                assert exp.features, (
+                    f"{exp.name} has a backend preset but declares no "
+                    "capability features"
+                )
+
+
 def test_cell_axes_are_preset_params():
     for exp in list_experiments(include_composite=False):
         for axis in exp.cell_axes:
@@ -228,6 +272,24 @@ def test_cli_run_fig4_small_completes(tmp_path):
     proc2 = _cli(tmp_path, "run", "fig4", "--small", "--quiet")
     assert proc2.returncode == 0, proc2.stderr
     assert proc2.stdout.count("cached") >= 4
+
+
+def test_cli_bad_backend_fails_cleanly_before_running(tmp_path):
+    # Regression for the late-raw-error bug: an unusable `--set backend=`
+    # must exit nonzero at spec time with the supported backends named and
+    # no traceback spilled (the canonical error is printed, not raised).
+    proc = _cli(tmp_path, "run", "fig6", "--small", "--quiet",
+                "--set", "backend=threaded")
+    assert proc.returncode == 2
+    assert "error:" in proc.stderr
+    assert "event, batched" in proc.stderr
+    assert "Traceback" not in proc.stderr
+
+    proc = _cli(tmp_path, "run", "table1", "--small", "--quiet",
+                "--set", "backend=batched")
+    assert proc.returncode == 2
+    assert "does not take a backend parameter" in proc.stderr
+    assert "Traceback" not in proc.stderr
 
 
 def test_cli_run_writes_output_dir(tmp_path):

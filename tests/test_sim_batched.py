@@ -10,8 +10,11 @@ The statistical equivalence with the event engine lives in
   different association order);
 * self-sends are excluded from the stats exactly like the event engine;
 * unsupported features fail loudly at construction/call time rather than
-  silently falling back (faults, finite buffers, pause/resume, send(),
-  delivery callbacks, unknown policies, shared-endpoint sources).
+  silently falling back (finite buffers, pause/resume, send(), delivery
+  callbacks, unknown policies, shared-endpoint sources) — the full
+  backend x feature product lives in ``tests/test_sim_capabilities.py``;
+* fault schedules are *supported* (epoch boundaries) but attach at most
+  once and only before the run.
 """
 
 import numpy as np
@@ -128,16 +131,21 @@ class TestUnsupportedFeaturesFailLoudly:
         topo, tables = parts
         return topo, tables, make_routing(name, tables, seed=0)
 
-    def test_fault_schedule_rejected(self, parts):
+    def test_fault_schedule_accepted_but_only_once_and_before_run(self, parts):
+        # Fault schedules are supported since the epoch-boundary port; what
+        # must still fail loudly: double attachment, and attachment after
+        # the run consumed the engine.
         topo, tables, routing = self._policy(parts)
         schedule = FaultSchedule([])
-        with pytest.raises(SimulationError, match="fault"):
-            BatchedSimulator(topo, routing, SimConfig(concentration=2),
-                             tables=tables, faults=schedule)
         net = BatchedSimulator(topo, routing, SimConfig(concentration=2),
-                               tables=tables)
-        with pytest.raises(SimulationError, match="fault"):
-            net.set_fault_schedule(schedule)
+                               tables=tables, faults=schedule)
+        with pytest.raises(SimulationError, match="already attached"):
+            net.set_fault_schedule(FaultSchedule([]))
+        net2 = BatchedSimulator(topo, routing, SimConfig(concentration=2),
+                                tables=tables)
+        net2.set_fault_schedule(schedule)
+        with pytest.raises(SimulationError, match="already attached"):
+            net2.set_fault_schedule(FaultSchedule([]))
 
     def test_finite_buffers_rejected(self, parts):
         topo, tables, routing = self._policy(parts)
@@ -152,7 +160,7 @@ class TestUnsupportedFeaturesFailLoudly:
         topo, tables, routing = self._policy(parts)
         net = BatchedSimulator(topo, routing, SimConfig(concentration=2),
                                tables=tables)
-        with pytest.raises(SimulationError, match="open-loop"):
+        with pytest.raises(SimulationError, match="adhoc-send"):
             net.send(0, 5)
         with pytest.raises(SimulationError, match="pause"):
             net.run(until=100.0)

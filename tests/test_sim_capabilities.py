@@ -1,0 +1,203 @@
+"""The backend capability matrix, pinned over its full product.
+
+Every ``(backend, feature)`` pair must either *run* (a real, minimal
+exercise of the feature on that engine) or raise the **single canonical
+error type**, :class:`~repro.errors.BackendCapabilityError` — never a raw
+``TypeError``/``AttributeError`` from deep inside an engine, and never a
+silent fallback.  Parametrizing over the full product means a future
+backend (or a feature added to one engine only) cannot silently regress a
+combination: add it to the matrix and this file fails until every cell is
+either implemented or properly refused.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BackendCapabilityError, SimulationError
+from repro.experiments.common import build_synthetic_sim
+from repro.routing import RoutingTables, make_routing
+from repro.sim import BatchedSimulator, NetworkSimulator, SimConfig
+from repro.sim import capabilities as cap
+from repro.sim.faults import FaultSchedule
+from repro.topology import build_lps
+from repro.workloads import Sweep3DMotif, run_motif
+
+
+@pytest.fixture(scope="module")
+def parts():
+    topo = build_lps(3, 5)
+    tables = RoutingTables(topo.graph)
+    return topo, tables
+
+
+def _make_engine(parts, backend):
+    topo, tables = parts
+    cls = {"event": NetworkSimulator, "batched": BatchedSimulator}[backend]
+    return cls(topo, make_routing("minimal", tables, seed=0),
+               SimConfig(concentration=2), tables=tables)
+
+
+# One minimal, *real* exercise per feature.  Each either completes or
+# raises; anything else (wrong error type, silent no-op) fails the test.
+def _exercise_open_loop(parts, backend):
+    topo, _ = parts
+    net = build_synthetic_sim(
+        topo, "minimal", "random", 0.5, concentration=2, n_ranks=8,
+        packets_per_rank=2, seed=0, backend=backend,
+    )
+    stats = net.run()
+    assert len(stats.latencies_ns) == stats.n_injected > 0
+
+
+def _exercise_motifs(parts, backend):
+    topo, tables = parts
+    out = run_motif(
+        topo, make_routing("minimal", tables, seed=0),
+        Sweep3DMotif((3, 3), sweeps=1), SimConfig(concentration=2),
+        placement_seed=1, backend=backend,
+    )
+    assert out["delivered_fraction"] == 1.0
+
+
+def _exercise_faults(parts, backend):
+    topo, _ = parts
+    schedule = FaultSchedule.random_link_faults(
+        topo.graph, 0.05, t_fail=2000.0, seed=1, t_recover=9000.0
+    )
+    net = build_synthetic_sim(
+        topo, "minimal", "random", 0.5, concentration=2, n_ranks=16,
+        packets_per_rank=4, seed=0, faults=schedule, backend=backend,
+    )
+    stats = net.run()
+    assert len(stats.epochs) == len(schedule)
+
+
+def _exercise_finite_buffers(parts, backend):
+    topo, tables = parts
+    cls = {"event": NetworkSimulator, "batched": BatchedSimulator}[backend]
+    net = cls(topo, make_routing("minimal", tables, seed=0),
+              SimConfig(concentration=2, finite_buffers=True),
+              tables=tables)
+    net.send(0, 5)
+    net.run()
+
+
+def _add_source(net):
+    """One tiny open-loop source (works on both engines)."""
+    from repro.sim.traffic import OpenLoopSource, make_traffic
+
+    import numpy as np
+
+    r2e = np.arange(4, dtype=np.int64)
+    net.add_open_loop_source(
+        OpenLoopSource(0, 0, make_traffic("neighbor", 4), r2e, 0.5, 2,
+                       seed=3)
+    )
+
+
+def _exercise_pause_resume(parts, backend):
+    net = _make_engine(parts, backend)
+    _add_source(net)
+    net.run(until=1.0)
+    # The pause must actually pause: nothing can have delivered by t=1ns.
+    assert not net.stats.latencies_ns
+    net.run()
+    assert net.stats.latencies_ns
+
+
+def _exercise_delivery_callbacks(parts, backend):
+    net = _make_engine(parts, backend)
+    seen = []
+    net.on_delivery = lambda pkt, t: seen.append(t)
+    _add_source(net)
+    net.run()
+    # The callback must actually fire, once per delivery.
+    assert len(seen) == len(net.stats.latencies_ns) > 0
+
+
+def _exercise_adhoc_send(parts, backend):
+    net = _make_engine(parts, backend)
+    net.send(0, 5)
+    stats = net.run()
+    # The send must actually traverse the network and deliver.
+    assert stats.n_injected == 1
+    assert len(stats.latencies_ns) == 1
+
+
+_EXERCISES = {
+    cap.OPEN_LOOP: _exercise_open_loop,
+    cap.MOTIFS: _exercise_motifs,
+    cap.FAULTS: _exercise_faults,
+    cap.FINITE_BUFFERS: _exercise_finite_buffers,
+    cap.PAUSE_RESUME: _exercise_pause_resume,
+    cap.DELIVERY_CALLBACKS: _exercise_delivery_callbacks,
+    cap.ADHOC_SEND: _exercise_adhoc_send,
+}
+
+
+class TestMatrixDeclaration:
+    def test_matrix_covers_exactly_the_declared_backends(self):
+        assert tuple(cap.CAPABILITIES) == cap.BACKENDS
+
+    def test_every_capability_is_a_declared_feature(self):
+        for backend, feats in cap.CAPABILITIES.items():
+            assert feats <= set(cap.FEATURES), backend
+
+    def test_event_is_the_reference_and_supports_everything(self):
+        assert cap.CAPABILITIES["event"] == frozenset(cap.FEATURES)
+
+    def test_every_feature_has_an_exercise(self):
+        # The functional product test below only means something if every
+        # declared feature really is exercised.
+        assert set(_EXERCISES) == set(cap.FEATURES)
+
+    @pytest.mark.parametrize("feature", cap.FEATURES)
+    def test_supported_backends_consistent_with_supports(self, feature):
+        good = cap.supported_backends(feature)
+        assert good == tuple(
+            b for b in cap.BACKENDS if cap.supports(b, feature)
+        )
+        # Someone must support every feature (the event engine at least).
+        assert "event" in good
+
+    def test_unknown_backend_is_rejected_everywhere(self):
+        with pytest.raises(BackendCapabilityError, match="unknown"):
+            cap.check_backend("threaded")
+        with pytest.raises(BackendCapabilityError, match="unknown"):
+            cap.require("threaded", cap.OPEN_LOOP)
+        with pytest.raises(BackendCapabilityError, match="unknown"):
+            SimConfig(backend="threaded")
+
+    def test_require_names_the_supported_backends(self):
+        with pytest.raises(BackendCapabilityError) as exc:
+            cap.require("batched", cap.FINITE_BUFFERS)
+        assert "event" in str(exc.value)
+        assert exc.value.backend == "batched"
+        assert exc.value.feature == cap.FINITE_BUFFERS
+        assert exc.value.supported_backends == ("event",)
+
+    def test_canonical_error_is_both_simulation_and_parameter_error(self):
+        # Existing call sites catch either; the canonical type serves both.
+        from repro.errors import ParameterError
+
+        assert issubclass(BackendCapabilityError, SimulationError)
+        assert issubclass(BackendCapabilityError, ParameterError)
+
+
+class TestFullProductRunsOrRaisesCanonically:
+    @pytest.mark.parametrize("feature", cap.FEATURES)
+    @pytest.mark.parametrize("backend", cap.BACKENDS)
+    def test_pair_runs_or_raises_the_canonical_error(
+        self, parts, backend, feature
+    ):
+        exercise = _EXERCISES[feature]
+        if cap.supports(backend, feature):
+            exercise(parts, backend)  # must genuinely run
+        else:
+            with pytest.raises(BackendCapabilityError) as exc:
+                exercise(parts, backend)
+            # The message tells the user which backend would work.
+            assert any(
+                b in str(exc.value) for b in cap.supported_backends(feature)
+            )

@@ -31,16 +31,36 @@ green, not one hand-picked cell.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.experiments.common import build_synthetic_sim
+from repro.routing import RoutingTables, make_routing
+from repro.sim import SimConfig
+from repro.sim.faults import FaultSchedule
 from repro.topology import (
     build_canonical_dragonfly,
     build_lps,
     build_paley,
     build_slimfly,
 )
+from repro.workloads import FFTMotif, Halo3D26Motif, Sweep3DMotif, run_motif
+
+# The whole module runs in the dedicated CI matrix job (see ci.yml); the
+# shard variable lets that job split the config list across matrix entries
+# without changing what runs locally (no variable = everything).
+pytestmark = pytest.mark.differential
+
+
+def _shard(configs):
+    """Slice a config list for the CI matrix: ``REPRO_DIFF_SHARD=i/n``."""
+    spec = os.environ.get("REPRO_DIFF_SHARD")
+    if not spec:
+        return configs
+    i, n = (int(part) for part in spec.split("/"))
+    return [c for j, c in enumerate(configs) if j % n == i]
 
 _FAMILIES = {
     "lps": lambda: build_lps(3, 5),  # 120 routers, radix 4
@@ -125,7 +145,7 @@ def _run_one(topos, cfg, backend):
 
 
 class TestDifferential:
-    @pytest.mark.parametrize("cfg", _sample_configs(), ids=_config_id)
+    @pytest.mark.parametrize("cfg", _shard(_sample_configs()), ids=_config_id)
     def test_batched_matches_event_within_tolerance(self, topos, cfg):
         ev = _run_one(topos, cfg, "event")
         bt = _run_one(topos, cfg, "batched")
@@ -168,3 +188,206 @@ class TestDifferential:
         assert a.latencies_ns == b.latencies_ns
         assert a.hops == b.hops
         assert a.t_last_delivery == b.t_last_delivery
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop motif workloads: event DAG runner vs batched frontier runner
+# ---------------------------------------------------------------------------
+_MOTIF_KINDS = {
+    "fft": lambda: FFTMotif((4, 4)),
+    "halo3d": lambda: Halo3D26Motif((3, 3, 3), iterations=2),
+    "sweep3d": lambda: Sweep3DMotif((4, 4), sweeps=2),
+}
+
+#: Relative tolerance per (policy, metric) for motif runs; ``delivered``
+#: is always exact.  Justification and calibration: docs/performance.md
+#: (the motif rows of the per-scenario tolerance table) — roughly 2x the
+#: worst deviation over a 24-config calibration grid.
+MOTIF_TOLERANCES = {
+    "minimal": {"mean_latency_ns": 0.04, "mean_hops": 0.02,
+                "makespan_ns": 0.10},
+    "valiant": {"mean_latency_ns": 0.10, "mean_hops": 0.12,
+                "makespan_ns": 0.20},
+    "ugal": {"mean_latency_ns": 0.08, "mean_hops": 0.26,
+             "makespan_ns": 0.16},
+    "ugal-g": {"mean_latency_ns": 0.06, "mean_hops": 0.13,
+               "makespan_ns": 0.10},
+}
+
+
+def _motif_configs():
+    """8 stratified (motif, routing, family, seed) combinations."""
+    families = sorted(_FAMILIES)
+    kinds = sorted(_MOTIF_KINDS)
+    configs = []
+    for i in range(8):
+        configs.append(
+            {
+                "motif": kinds[i % len(kinds)],
+                "routing": _ROUTINGS[i % len(_ROUTINGS)],
+                "family": families[(i // len(kinds)) % len(families)],
+                "seed": 11 + 3 * i,
+            }
+        )
+    return configs
+
+
+def _motif_id(cfg):
+    return f"{cfg['motif']}-{cfg['routing']}-{cfg['family']}-s{cfg['seed']}"
+
+
+class TestMotifDifferential:
+    """Motif DAGs agree across engines within the documented tolerances."""
+
+    def _run(self, topos, cfg, backend):
+        topo = topos[cfg["family"]]
+        tables = RoutingTables(topo.graph)
+        policy = make_routing(cfg["routing"], tables, seed=cfg["seed"])
+        return run_motif(
+            topo, policy, _MOTIF_KINDS[cfg["motif"]](),
+            SimConfig(concentration=2),
+            placement_seed=cfg["seed"] + 1, backend=backend,
+        )
+
+    @pytest.mark.parametrize("cfg", _shard(_motif_configs()), ids=_motif_id)
+    def test_batched_motif_matches_event_within_tolerance(self, topos, cfg):
+        ev = self._run(topos, cfg, "event")
+        bt = self._run(topos, cfg, "batched")
+        # The DAG drains identically: same messages, all delivered.
+        assert bt["n_messages"] == ev["n_messages"]
+        assert bt["delivered"] == ev["delivered"]
+        assert bt["delivered_fraction"] == ev["delivered_fraction"] == 1.0
+        tol = MOTIF_TOLERANCES[cfg["routing"]]
+        for metric, rel_tol in tol.items():
+            a, b = ev[metric], bt[metric]
+            assert a > 0, (metric, a)
+            rel = abs(b - a) / a
+            assert rel <= rel_tol, (
+                f"{metric}: event={a:.2f} batched={b:.2f} "
+                f"rel={rel:.3f} > tol={rel_tol} in {_motif_id(cfg)}"
+            )
+
+    def test_batched_motif_is_deterministic(self, topos):
+        cfg = _motif_configs()[0]
+        a = self._run(topos, cfg, "batched")
+        b = self._run(topos, cfg, "batched")
+        assert a == b
+
+    def test_motif_sampler_covers_the_axes(self):
+        cfgs = _motif_configs()
+        assert len(cfgs) >= 8
+        assert {c["motif"] for c in cfgs} == set(_MOTIF_KINDS)
+        assert {c["routing"] for c in cfgs} == set(_ROUTINGS)
+        assert len({c["family"] for c in cfgs}) >= 3
+
+
+# ---------------------------------------------------------------------------
+# Mid-run fault schedules: event handler path vs batched epoch boundaries
+# ---------------------------------------------------------------------------
+#: Per-scenario fault tolerances (same table in docs/performance.md):
+#: delivered fraction is compared absolutely (a drop is a discrete event —
+#: the engines disagree by at most a few packets per failed port, the
+#: documented mid-flight-kill approximation), mean latency relatively.
+FAULT_TOLERANCES = {"delivered_fraction_abs": 0.04, "mean_latency_ns": 0.10}
+
+
+def _fault_configs():
+    """8 stratified (family, routing, fraction, recovery, seed) combos."""
+    families = sorted(_FAMILIES)
+    configs = []
+    for i in range(8):
+        configs.append(
+            {
+                "family": families[i % len(families)],
+                "routing": _ROUTINGS[i % len(_ROUTINGS)],
+                "fraction": (0.05, 0.12)[i % 2],
+                "recover": i % 3 != 0,
+                "load": 0.45,
+                "packets_per_rank": 15,
+                "seed": 5 + 7 * i,
+            }
+        )
+    return configs
+
+
+def _fault_id(cfg):
+    return (
+        f"{cfg['family']}-{cfg['routing']}-f{cfg['fraction']}"
+        f"-{'rec' if cfg['recover'] else 'norec'}-s{cfg['seed']}"
+    )
+
+
+class TestFaultedDifferential:
+    """Faulted open-loop runs agree across engines within tolerances."""
+
+    def _run(self, topos, cfg, backend):
+        topo = topos[cfg["family"]]
+        n_eps = topo.n_routers * 2
+        n_ranks = min(64, 1 << (n_eps.bit_length() - 1))
+        ppr = cfg["packets_per_rank"]
+        # Derive the injection horizon from the config (not hardcoded
+        # defaults), so the fault window keeps landing mid-run even if
+        # SimConfig's packet size or bandwidth ever change.
+        sim_cfg = SimConfig(concentration=2)
+        horizon = (
+            ppr * sim_cfg.packet_bytes / (cfg["load"] * sim_cfg.bytes_per_ns)
+        )
+        schedule = FaultSchedule.random_link_faults(
+            topo.graph,
+            cfg["fraction"],
+            t_fail=0.25 * horizon,
+            seed=cfg["seed"] * 13 + 1,
+            t_recover=0.75 * horizon if cfg["recover"] else None,
+        )
+        net = build_synthetic_sim(
+            topo, cfg["routing"], "random", cfg["load"], concentration=2,
+            n_ranks=n_ranks, packets_per_rank=ppr, seed=cfg["seed"],
+            faults=schedule, backend=backend,
+        )
+        return net.run()
+
+    @pytest.mark.parametrize("cfg", _shard(_fault_configs()), ids=_fault_id)
+    def test_batched_faults_match_event_within_tolerance(self, topos, cfg):
+        ev = self._run(topos, cfg, "event")
+        bt = self._run(topos, cfg, "batched")
+        assert ev.n_injected == bt.n_injected > 0
+
+        # Packet conservation on both engines: every injected packet is
+        # delivered or accounted to a fault, never lost silently.
+        se, sb = ev.summary(), bt.summary()
+        assert se["delivered"] + ev.n_dropped == ev.n_injected
+        assert sb["delivered"] + bt.n_dropped == bt.n_injected
+
+        # Both engines apply every schedule event (epoch parity).
+        assert len(bt.epochs) == len(ev.epochs)
+        assert [e["label"] for e in bt.epochs] == [
+            e["label"] for e in ev.epochs
+        ]
+
+        dd = abs(se["delivered_fraction"] - sb["delivered_fraction"])
+        assert dd <= FAULT_TOLERANCES["delivered_fraction_abs"], (
+            f"delivered_fraction: event={se['delivered_fraction']:.4f} "
+            f"batched={sb['delivered_fraction']:.4f} in {_fault_id(cfg)}"
+        )
+        a = se["mean_latency_ns"]
+        b = sb["mean_latency_ns"]
+        rel = abs(b - a) / a
+        assert rel <= FAULT_TOLERANCES["mean_latency_ns"], (
+            f"mean_latency_ns: event={a:.1f} batched={b:.1f} "
+            f"rel={rel:.3f} in {_fault_id(cfg)}"
+        )
+
+    def test_batched_faulted_is_deterministic(self, topos):
+        cfg = _fault_configs()[0]
+        a = self._run(topos, cfg, "batched")
+        b = self._run(topos, cfg, "batched")
+        assert a.latencies_ns == b.latencies_ns
+        assert a.drops == b.drops
+        assert a.epochs == b.epochs
+
+    def test_fault_sampler_covers_the_axes(self):
+        cfgs = _fault_configs()
+        assert len(cfgs) >= 8
+        assert {c["family"] for c in cfgs} == set(_FAMILIES)
+        assert {c["routing"] for c in cfgs} == set(_ROUTINGS)
+        assert {c["recover"] for c in cfgs} == {True, False}

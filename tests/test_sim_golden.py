@@ -30,8 +30,15 @@ import pathlib
 
 import pytest
 
-from repro.experiments.common import build_synthetic_sim
+from repro.experiments.common import build_synthetic_sim, cached_tables
+from repro.routing import make_routing
+from repro.sim import SimConfig
+from repro.sim.faults import FaultSchedule
 from repro.topology import SIM_CONFIGS
+from repro.workloads import FFTMotif, Halo3D26Motif, Sweep3DMotif, run_motif
+
+# Runs in the dedicated differential/golden CI matrix job (see ci.yml).
+pytestmark = pytest.mark.differential
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "sim_small.json"
 
@@ -70,9 +77,53 @@ FIELDS = (
 )
 
 
+#: Motif corpus cells: (family, routing, motif-kind, placement_seed).
+#: The oracle for the batched engine's closed-loop mode is the event
+#: engine's DAG runner, so the runner itself is pinned bit-for-bit here
+#: *before* the differential harness compares the batched engine to it.
+MOTIF_CELLS = [
+    ("SpectralFly", "minimal", "fft", 7),
+    ("DragonFly", "ugal", "halo3d", 7),
+    ("SlimFly", "valiant", "sweep3d", 7),
+]
+
+#: Faulted corpus cells: (family, routing, fail_fraction, recover, seed).
+#: Pins the event engine's degraded path — drops by cause, requeues,
+#: non-minimal hops, and the full epoch ledger — bit-for-bit.
+FAULT_CELLS = [
+    ("SpectralFly", "ugal", 0.1, True, 7),
+    ("BundleFly", "minimal", 0.15, False, 7),
+    ("DragonFly", "ugal-g", 0.05, True, 7),
+]
+
+
+def make_motif(kind: str, n_ranks: int):
+    """The corpus motif instances (small and fixed, like the cells)."""
+    if kind == "fft":
+        return FFTMotif.balanced(n_ranks)
+    if kind == "halo3d":
+        return Halo3D26Motif((4, 4, 4), iterations=1)
+    if kind == "sweep3d":
+        return Sweep3DMotif((8, 8), sweeps=1)
+    raise ValueError(kind)
+
+
 def cell_id(cell) -> str:
     family, routing, pattern, load, seed = cell
     return f"{family}-{routing}-{pattern}-l{load}-s{seed}"
+
+
+def motif_cell_id(cell) -> str:
+    family, routing, kind, seed = cell
+    return f"{family}-{routing}-{kind}-s{seed}"
+
+
+def fault_cell_id(cell) -> str:
+    family, routing, fraction, recover, seed = cell
+    return (
+        f"{family}-{routing}-f{fraction}"
+        f"-{'rec' if recover else 'norec'}-s{seed}"
+    )
 
 
 def collect_cell(cell) -> dict:
@@ -94,6 +145,60 @@ def collect_cell(cell) -> dict:
     return {field: getattr(stats, field) for field in FIELDS}
 
 
+def collect_motif_cell(cell) -> dict:
+    """Run one motif cell on the event engine; pin its full summary.
+
+    ``run_motif``'s summary already carries every per-run observable a
+    motif produces (latency percentiles, hops, makespan, counters); the
+    floats round-trip JSON exactly, so equality pins the trajectory.
+    """
+    family, routing, kind, seed = cell
+    spec = SIM_CONFIGS["small"]["topologies"][family]
+    topo = spec["build"]()
+    tables = cached_tables(topo)
+    policy = make_routing(routing, tables, seed=seed)
+    out = run_motif(
+        topo, policy, make_motif(kind, N_RANKS),
+        SimConfig(concentration=spec["concentration"]),
+        placement_seed=seed + 1, backend="event",
+    )
+    return out
+
+
+def collect_fault_cell(cell) -> dict:
+    """Run one faulted open-loop cell on the event engine; pin SimStats.
+
+    Includes the fault-specific observables on top of :data:`FIELDS`:
+    drops by cause and the complete epoch ledger.
+    """
+    family, routing, fraction, recover, seed = cell
+    spec = SIM_CONFIGS["small"]["topologies"][family]
+    topo = spec["build"]()
+    cfg = SimConfig(concentration=spec["concentration"])
+    load = 0.5
+    horizon = (
+        PACKETS_PER_RANK * cfg.packet_bytes / (load * cfg.bytes_per_ns)
+    )
+    schedule = FaultSchedule.random_link_faults(
+        topo.graph,
+        fraction,
+        t_fail=0.25 * horizon,
+        seed=seed * 13 + 1,
+        t_recover=0.75 * horizon if recover else None,
+    )
+    net = build_synthetic_sim(
+        topo, routing, "random", load,
+        concentration=spec["concentration"], n_ranks=N_RANKS,
+        packets_per_rank=PACKETS_PER_RANK, seed=seed,
+        faults=schedule, backend="event",
+    )
+    stats = net.run()
+    out = {field: getattr(stats, field) for field in FIELDS}
+    out["drops"] = dict(stats.drops)
+    out["epochs"] = list(stats.epochs)
+    return out
+
+
 @pytest.fixture(scope="module")
 def golden():
     assert GOLDEN_PATH.exists(), (
@@ -106,6 +211,12 @@ def golden():
 class TestGoldenCorpus:
     def test_corpus_matches_cell_list(self, golden):
         assert list(golden["cells"]) == [cell_id(c) for c in CELLS]
+        assert list(golden["motif_cells"]) == [
+            motif_cell_id(c) for c in MOTIF_CELLS
+        ]
+        assert list(golden["fault_cells"]) == [
+            fault_cell_id(c) for c in FAULT_CELLS
+        ]
         assert golden["n_ranks"] == N_RANKS
         assert golden["packets_per_rank"] == PACKETS_PER_RANK
 
@@ -120,6 +231,40 @@ class TestGoldenCorpus:
                 "scripts/make_golden_sim.py and say so in the commit"
             )
 
+    @pytest.mark.parametrize("cell", MOTIF_CELLS, ids=motif_cell_id)
+    def test_event_motif_bit_for_bit(self, golden, cell):
+        expected = golden["motif_cells"][motif_cell_id(cell)]
+        actual = collect_motif_cell(cell)
+        assert set(actual) == set(expected)
+        for key in expected:
+            assert actual[key] == expected[key], (
+                f"motif summary {key!r} drifted in {motif_cell_id(cell)} — "
+                "the event DAG runner is the batched engine's oracle; if "
+                "the change is intentional, regenerate with "
+                "scripts/make_golden_sim.py and say so in the commit"
+            )
+
+    @pytest.mark.parametrize("cell", FAULT_CELLS, ids=fault_cell_id)
+    def test_event_faulted_bit_for_bit(self, golden, cell):
+        expected = golden["fault_cells"][fault_cell_id(cell)]
+        actual = collect_fault_cell(cell)
+        assert set(actual) == set(expected)
+        for key in expected:
+            assert actual[key] == expected[key], (
+                f"faulted SimStats {key!r} drifted in "
+                f"{fault_cell_id(cell)} — the degraded event path is the "
+                "batched engine's oracle; if the change is intentional, "
+                "regenerate with scripts/make_golden_sim.py and say so in "
+                "the commit"
+            )
+
+    def test_fault_cells_actually_exercise_faults(self, golden):
+        # A faulted corpus that never drops or reroutes pins nothing.
+        cells = golden["fault_cells"].values()
+        assert any(c["n_dropped"] > 0 for c in cells)
+        assert any(c["nonminimal_hops"] > 0 for c in cells)
+        assert all(len(c["epochs"]) > 0 for c in cells)
+
     def test_corpus_spans_families_and_routings(self):
         assert {c[0] for c in CELLS} == set(
             SIM_CONFIGS["small"]["topologies"]
@@ -127,3 +272,6 @@ class TestGoldenCorpus:
         assert {c[1] for c in CELLS} == {
             "minimal", "valiant", "ugal", "ugal-g"
         }
+        # The scenario cells keep their own axes covered too.
+        assert {c[2] for c in MOTIF_CELLS} == {"fft", "halo3d", "sweep3d"}
+        assert {c[3] for c in FAULT_CELLS} == {True, False}
