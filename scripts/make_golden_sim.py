@@ -22,6 +22,7 @@ for p in (str(ROOT / "src"), str(ROOT / "tests")):
 
 from test_sim_golden import (  # noqa: E402
     CELLS,
+    COLLECTIVE_CELLS,
     FAULT_CELLS,
     GOLDEN_PATH,
     MOTIF_CELLS,
@@ -29,8 +30,10 @@ from test_sim_golden import (  # noqa: E402
     PACKETS_PER_RANK,
     cell_id,
     collect_cell,
+    collect_collective_cell,
     collect_fault_cell,
     collect_motif_cell,
+    collective_cell_id,
     fault_cell_id,
     motif_cell_id,
 )
@@ -38,7 +41,7 @@ from test_sim_golden import (  # noqa: E402
 
 def main() -> int:
     corpus = {
-        "schema": 2,
+        "schema": 3,
         "kind": "repro-sim-golden",
         "backend": "event",
         "n_ranks": N_RANKS,
@@ -46,6 +49,7 @@ def main() -> int:
         "cells": {},
         "motif_cells": {},
         "fault_cells": {},
+        "collective_cells": {},
     }
     for cell in CELLS:
         name = cell_id(cell)
@@ -59,13 +63,18 @@ def main() -> int:
         name = fault_cell_id(cell)
         print(f"  faulted {name}...")
         corpus["fault_cells"][name] = collect_fault_cell(cell)
+    for cell in COLLECTIVE_CELLS:
+        name = collective_cell_id(cell)
+        print(f"  collective {name}...")
+        corpus["collective_cells"][name] = collect_collective_cell(cell)
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(corpus, indent=1) + "\n")
     n_lat = sum(len(c["latencies_ns"]) for c in corpus["cells"].values())
     print(
         f"wrote {GOLDEN_PATH} ({len(CELLS)} open-loop cells / {n_lat} "
         f"packets, {len(MOTIF_CELLS)} motif cells, "
-        f"{len(FAULT_CELLS)} faulted cells)"
+        f"{len(FAULT_CELLS)} faulted cells, "
+        f"{len(COLLECTIVE_CELLS)} collective cells)"
     )
     return 0
 

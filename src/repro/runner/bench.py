@@ -35,10 +35,12 @@ from typing import Any
 # ``summary_batched`` and the batched-vs-event speedup.
 #
 # ``scenarios`` are the capability-gap cells added when the batched engine
-# learnt motifs and fault schedules: one closed-loop motif run and one
-# mid-run-faulted open-loop run, each timed per backend (engine run only —
-# workload generation and topology construction stay outside the timer).
-# Their batched-vs-event speedups land in ``summary_scenarios``.
+# learnt motifs and fault schedules: one closed-loop motif run, one
+# mid-run-faulted open-loop run, and one chunk-level collective schedule
+# (ring allreduce lowered to a motif DAG), each timed per backend (engine
+# run only — workload generation and topology construction stay outside
+# the timer).  Their batched-vs-event speedups land in
+# ``summary_scenarios``.
 BENCH_PRESETS: dict[str, dict[str, Any]] = {
     "smoke": {
         "scale": "small",
@@ -55,6 +57,9 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
                         "pattern": "random", "load": 0.5, "n_ranks": 256,
                         "packets_per_rank": 10, "fail_fraction": 0.1,
                         "recover": True},
+            "collective": {"topology": "SpectralFly", "routing": "minimal",
+                           "collective": "allreduce", "algorithm": "ring",
+                           "n_ranks": 64, "total_bytes": 1 << 15},
         },
     },
     "small": {
@@ -77,6 +82,9 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
                         "pattern": "random", "load": 0.5, "n_ranks": 512,
                         "packets_per_rank": 15, "fail_fraction": 0.1,
                         "recover": True},
+            "collective": {"topology": "SpectralFly", "routing": "minimal",
+                           "collective": "allreduce", "algorithm": "ring",
+                           "n_ranks": 128, "total_bytes": 1 << 16},
         },
     },
     "full": {
@@ -99,6 +107,9 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
                         "pattern": "random", "load": 0.5, "n_ranks": 8192,
                         "packets_per_rank": 15, "fail_fraction": 0.1,
                         "recover": True},
+            "collective": {"topology": "SpectralFly", "routing": "minimal",
+                           "collective": "allreduce", "algorithm": "ring",
+                           "n_ranks": 1024, "total_bytes": 1 << 18},
         },
     },
 }
@@ -279,6 +290,51 @@ def run_motif_cell(
     }
 
 
+def run_collective_cell(
+    topo,
+    routing: str,
+    collective: str,
+    algorithm: str,
+    concentration: int,
+    n_ranks: int,
+    total_bytes: int,
+    seed: int = BENCH_SEED,
+    backend: str = "event",
+) -> dict[str, Any]:
+    """Time one chunk-level collective run (schedule build untimed)."""
+    from repro.experiments.common import cached_tables
+    from repro.routing import make_routing
+    from repro.sim import SimConfig
+    from repro.workloads import CollectiveMotif, run_collective
+
+    tables = cached_tables(topo)
+    policy = make_routing(routing, tables, seed=seed)
+    motif = CollectiveMotif(
+        collective, algorithm, n_ranks, total_bytes=total_bytes
+    )
+    motif.generate()  # build the schedule outside the timer
+    cfg = SimConfig(concentration=concentration)
+    t0 = time.perf_counter()
+    out = run_collective(
+        topo, policy, motif, cfg, placement_seed=seed + 1, backend=backend,
+    )
+    wall = time.perf_counter() - t0
+    n = int(out["n_messages"])
+    return {
+        "workload": f"collective:{collective}-{algorithm}",
+        "topology": topo.name,
+        "routing": routing,
+        "backend": backend,
+        "n_ranks": n_ranks,
+        "messages": n,
+        "delivered": int(out["delivered"]),
+        "wall_s": round(wall, 4),
+        "messages_per_s": round(n / wall, 1) if wall > 0 else 0.0,
+        "makespan_ns": round(float(out["makespan_ns"]), 2),
+        "chunk_done_p99_ns": round(float(out["chunk_done_p99_ns"]), 2),
+    }
+
+
 def run_faulted_cell(
     topo,
     routing: str,
@@ -329,7 +385,8 @@ def run_scenarios(
     progress=None,
     backends: tuple[str, ...] | None = None,
 ) -> list[dict[str, Any]]:
-    """Run the preset's scenario cells (motif + faulted) per backend."""
+    """Run the preset's scenario cells (motif, collective, faulted) per
+    backend."""
     from repro.topology import SIM_CONFIGS
 
     spec = BENCH_PRESETS[preset]
@@ -351,6 +408,12 @@ def run_scenarios(
                     row = run_motif_cell(
                         topo, sc["routing"], sc["motif"], conc,
                         n_ranks=sc["n_ranks"], backend=backend,
+                    )
+                elif kind == "collective":
+                    row = run_collective_cell(
+                        topo, sc["routing"], sc["collective"],
+                        sc["algorithm"], conc, n_ranks=sc["n_ranks"],
+                        total_bytes=sc["total_bytes"], backend=backend,
                     )
                 else:
                     row = run_faulted_cell(

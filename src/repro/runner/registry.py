@@ -434,6 +434,42 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         features=(capabilities.OPEN_LOOP, capabilities.FAULTS),
     ),
     ExperimentDef(
+        name="collectives",
+        title="Collectives — allreduce/allgather/reduce-scatter completion ranking",
+        fn="repro.experiments.collectives:run",
+        presets={
+            "small": {
+                "scale": "small",
+                "collectives": ("allreduce", "allgather", "reduce-scatter"),
+                "algorithms": ("ring", "recursive-doubling",
+                               "binary-tree", "rabenseifner"),
+                "n_nodes": (8, 16),
+                "total_bytes": 1 << 14,
+                "routing": "minimal",
+                # Chunk DAGs run unchanged on either engine (--set
+                # backend=batched, see docs/collectives.md).
+                "backend": "event",
+            },
+            "full": {
+                "scale": "paper",
+                "collectives": ("allreduce", "allgather", "reduce-scatter"),
+                "algorithms": ("ring", "recursive-doubling",
+                               "binary-tree", "rabenseifner"),
+                "n_nodes": (32, 64),
+                "total_bytes": 1 << 16,
+                "routing": "minimal",
+                "backend": "event",
+            },
+        },
+        # n_nodes splits with the other axes: ranking/normalisation
+        # happen inside a (collective, algorithm, n_nodes) cell, across
+        # the topology families.
+        cell_axes=("collectives", "algorithms", "n_nodes"),
+        tags=("extension", "simulation", "motifs", "collectives"),
+        runtime="~1 min",
+        features=(capabilities.MOTIFS, capabilities.COLLECTIVES),
+    ),
+    ExperimentDef(
         name="contention",
         title="Inter-job contention — the discrepancy-property claim",
         fn="repro.experiments.contention:run",

@@ -617,8 +617,14 @@ class BatchedSimulator:
             tie = self.rng.integers(0, _ENQ_MASK, size=len(p))
         else:
             frac = self._t_arr[p] / self._cl_tau - (c - 1)
+            # Round, don't truncate: truncation turns the one-ulp float
+            # error of the fraction round-trip into off-by-one ties, so
+            # two packets with distinct quantized arrivals could collide
+            # and their order would depend on merge-batch boundaries
+            # (pinned by the permutation-invariance property test).
             tie = np.clip(
-                (frac * (_ENQ_MASK - 1)).astype(np.int64), 0, _ENQ_MASK - 1
+                np.rint(frac * (_ENQ_MASK - 1)).astype(np.int64),
+                0, _ENQ_MASK - 1,
             )
         comb = (
             (key << _PORT_SHIFT)
@@ -825,13 +831,22 @@ class BatchedSimulator:
     def _fill_epochs(
         self, t0: np.ndarray, t_del: np.ndarray, delivered: np.ndarray
     ) -> None:
-        """Patch the drain-time counters into the recorded epoch snapshots."""
+        """Patch the drain-time counters into the recorded epoch snapshots.
+
+        Boundary semantics are strict: the event engine pushes fault
+        events into its heap before any traffic exists, so at equal
+        timestamps a fault pops first and its epoch snapshot *excludes*
+        injections and deliveries landing exactly at the epoch time.  An
+        inclusive comparison here diverged from the reference whenever a
+        run terminated exactly on an epoch boundary (the last delivery
+        cycle coinciding with a recovery event).
+        """
         sizes = self._msg_sizes
         for ep in self.stats.epochs:
             t = ep["t"]
-            ep["injected"] = int((t0 <= t).sum()) if len(t0) else 0
+            ep["injected"] = int((t0 < t).sum()) if len(t0) else 0
             if len(t_del):
-                dm = delivered & (t_del <= t)
+                dm = delivered & (t_del < t)
                 ep["delivered"] = int(dm.sum())
                 ep["bytes_delivered"] = (
                     int(dm.sum()) * self._size

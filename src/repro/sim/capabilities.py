@@ -35,6 +35,7 @@ BACKENDS: tuple[str, ...] = ("event", "batched")
 #: they require and the matrix answers which backends qualify.
 OPEN_LOOP = "open-loop"  # Poisson open-loop synthetic traffic
 MOTIFS = "motifs"  # closed-loop dependency-driven motif DAGs
+COLLECTIVES = "collectives"  # chunk-level collective schedules on motif DAGs
 FAULTS = "faults"  # mid-run FaultSchedule (link/router down/up)
 FINITE_BUFFERS = "finite-buffers"  # credit-based blocking buffers
 PAUSE_RESUME = "pause-resume"  # run(until=...) / max_events bounds
@@ -44,6 +45,7 @@ ADHOC_SEND = "adhoc-send"  # caller-driven send() outside the motif runner
 FEATURES: tuple[str, ...] = (
     OPEN_LOOP,
     MOTIFS,
+    COLLECTIVES,
     FAULTS,
     FINITE_BUFFERS,
     PAUSE_RESUME,
@@ -52,14 +54,15 @@ FEATURES: tuple[str, ...] = (
 )
 
 #: The matrix itself.  The event engine is the reference and supports
-#: everything; the batched engine covers the three scenario families the
-#: paper's figures need (open-loop synthetic, motif workloads, fault
-#: schedules) and refuses the interactive/debugging features whose
+#: everything; the batched engine covers the scenario families the
+#: paper's figures and the workload suite need (open-loop synthetic,
+#: motif workloads, collective schedules, fault schedules) and refuses
+#: the interactive/debugging features whose
 #: semantics are inherently per-event (blocking buffers, pause/resume,
 #: per-packet callbacks, ad-hoc sends).
 CAPABILITIES: dict[str, frozenset[str]] = {
     "event": frozenset(FEATURES),
-    "batched": frozenset({OPEN_LOOP, MOTIFS, FAULTS}),
+    "batched": frozenset({OPEN_LOOP, MOTIFS, COLLECTIVES, FAULTS}),
 }
 
 assert tuple(CAPABILITIES) == BACKENDS  # keep the two declarations in sync

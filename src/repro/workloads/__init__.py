@@ -4,6 +4,7 @@ from repro.workloads.motif import Message, Motif
 from repro.workloads.halo3d import Halo3D26Motif
 from repro.workloads.sweep3d import Sweep3DMotif
 from repro.workloads.fft import FFTMotif
+from repro.workloads.collectives import CollectiveMotif, run_collective
 from repro.workloads.runner import run_motif
 
 __all__ = [
@@ -12,5 +13,7 @@ __all__ = [
     "Halo3D26Motif",
     "Sweep3DMotif",
     "FFTMotif",
+    "CollectiveMotif",
     "run_motif",
+    "run_collective",
 ]

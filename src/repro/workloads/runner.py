@@ -38,6 +38,7 @@ def run_motif(
     placement: str = "random-nodes",
     backend: str | None = None,
     messages: list[Message] | None = None,
+    collect_delivery_times: bool = False,
 ) -> dict:
     """Run ``motif`` on ``topo`` and return the stats summary + makespan.
 
@@ -45,6 +46,9 @@ def run_motif(
     whose default is the event reference).  ``messages`` optionally passes
     a pre-generated ``motif.generate()`` list — the benchmark harness uses
     it to keep workload generation out of the timed engine run.
+    ``collect_delivery_times`` adds ``t_delivered_ns`` to the summary: the
+    per-message delivery instant indexed by mid (the collective runner
+    assembles per-chunk completion times from it).
     """
     backend = backend if backend is not None else config.backend
     capabilities.require(backend, capabilities.MOTIFS, context="run_motif")
@@ -52,7 +56,8 @@ def run_motif(
         messages = motif.generate()
     if backend == "batched":
         return _run_batched(topo, routing, motif, messages, config,
-                            placement_seed, placement)
+                            placement_seed, placement,
+                            collect_delivery_times)
 
     net = NetworkSimulator(topo, routing, config)
     rank_to_ep = place_ranks(
@@ -76,11 +81,16 @@ def run_motif(
         )
 
     delivered_count = 0
+    t_deliver = (
+        np.full(len(messages), np.inf) if collect_delivery_times else None
+    )
 
     def on_delivery(pkt, t: float) -> None:
         nonlocal delivered_count
         delivered_count += 1
         mid = pkt.tag
+        if t_deliver is not None:
+            t_deliver[mid] = t
         for dep_mid in dependents.get(mid, ()):
             pending_deps[dep_mid] -= 1
             if pending_deps[dep_mid] == 0:
@@ -97,7 +107,11 @@ def run_motif(
             f"motif deadlocked: {delivered_count}/{len(messages)} delivered "
             "(cyclic dependencies?)"
         )
-    return _summarise(stats, motif, messages, float(net.stats.t_last_delivery))
+    out = _summarise(stats, motif, messages,
+                     float(net.stats.t_last_delivery))
+    if t_deliver is not None:
+        out["t_delivered_ns"] = t_deliver
+    return out
 
 
 def _run_batched(
@@ -108,6 +122,7 @@ def _run_batched(
     config: SimConfig,
     placement_seed: int,
     placement: str,
+    collect_delivery_times: bool = False,
 ) -> dict:
     """The vectorized frontier path (see ``BatchedSimulator.run_closed_loop``)."""
     net = BatchedSimulator(topo, routing, config, tables=routing.tables)
@@ -120,7 +135,10 @@ def _run_batched(
             f"motif deadlocked: {net.closed_loop_delivered}/{len(messages)} "
             "delivered (cyclic dependencies?)"
         )
-    return _summarise(stats, motif, messages, float(stats.t_last_delivery))
+    out = _summarise(stats, motif, messages, float(stats.t_last_delivery))
+    if collect_delivery_times:
+        out["t_delivered_ns"] = net._t_del.copy()
+    return out
 
 
 def _summarise(stats, motif: Motif, messages: list[Message],

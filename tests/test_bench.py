@@ -2,8 +2,9 @@
 
 Timing *numbers* are machine noise and are never asserted; what is pinned
 here is the machinery: cells run the work they claim (delivered counts,
-backends, workload labels), the scenario cells (motif + faulted) exist
-per backend, the summaries aggregate what they say they aggregate, and
+backends, workload labels), the scenario cells (motif, collective,
+faulted) exist per backend, the summaries aggregate what they say they
+aggregate, and
 ``compare_to_committed`` flags exactly the regressions it documents —
 including the new per-scenario speedups.
 """
@@ -20,6 +21,7 @@ from repro.runner.bench import (
     compare_to_committed,
     run_bench,
     run_cell,
+    run_collective_cell,
     run_faulted_cell,
     run_motif_cell,
     run_scenarios,
@@ -44,6 +46,9 @@ _TINY = {
                     "pattern": "random", "load": 0.5, "n_ranks": 16,
                     "packets_per_rank": 3, "fail_fraction": 0.05,
                     "recover": True},
+        "collective": {"topology": "SpectralFly", "routing": "minimal",
+                       "collective": "allreduce", "algorithm": "ring",
+                       "n_ranks": 8, "total_bytes": 1 << 10},
     },
 }
 
@@ -93,6 +98,22 @@ class TestCells:
         assert row["backend"] == "batched"
         assert row["delivered"] > 0
 
+    def test_run_collective_cell_per_backend(self, topo):
+        rows = {
+            be: run_collective_cell(
+                topo, "minimal", "allreduce", "ring", 4, n_ranks=8,
+                total_bytes=1 << 10, backend=be,
+            )
+            for be in ("event", "batched")
+        }
+        for be, row in rows.items():
+            assert row["workload"] == "collective:allreduce-ring"
+            assert row["backend"] == be
+            assert row["delivered"] == row["messages"] > 0
+            assert row["chunk_done_p99_ns"] <= row["makespan_ns"]
+        # Identical schedule DAG on both engines.
+        assert rows["event"]["messages"] == rows["batched"]["messages"]
+
     def test_make_motif_kinds(self):
         for kind in ("fft-balanced", "fft-unbalanced", "halo3d", "sweep3d"):
             m = bench._make_motif(kind, 16)
@@ -103,10 +124,10 @@ class TestScenarios:
     def test_run_scenarios_covers_workloads_and_backends(self, tiny_preset):
         rows = run_scenarios(tiny_preset)
         assert {r["workload"].split(":")[0] for r in rows} == {
-            "motif", "faulted"
+            "motif", "faulted", "collective"
         }
         assert {r["backend"] for r in rows} == {"event", "batched"}
-        assert len(rows) == 4
+        assert len(rows) == 6
 
     def test_run_scenarios_empty_without_section(self, monkeypatch):
         monkeypatch.setitem(
@@ -147,7 +168,8 @@ class TestRunBench:
             assert "scenario_cells" in payload
             ss = payload["summary_scenarios"]
             assert set(ss) == {
-                "motif_speedup_vs_event", "faulted_speedup_vs_event"
+                "motif_speedup_vs_event", "faulted_speedup_vs_event",
+                "collective_speedup_vs_event",
             }
 
     def test_unknown_preset_rejected(self):

@@ -1,0 +1,96 @@
+"""The collectives experiment family: driver, ranking, registry."""
+
+import pytest
+
+from repro.experiments.collectives import run
+from repro.runner.registry import get_experiment
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+
+
+def _mini(**overrides):
+    kwargs = dict(
+        scale="small",
+        collectives=("allreduce",),
+        algorithms=("ring",),
+        n_nodes=(8,),
+        total_bytes=1 << 12,
+        seed=0,
+    )
+    kwargs.update(overrides)
+    return run(**kwargs)
+
+
+class TestDriver:
+    def test_rows_and_columns(self):
+        res = _mini()
+        # One cell, all four families ranked within it.
+        assert len(res.rows) == 4
+        families = {r["topology"] for r in res.rows}
+        assert len(families) == 4
+        for row in res.rows:
+            assert row["collective"] == "allreduce"
+            assert row["algorithm"] == "ring"
+            assert row["n_nodes"] == 8
+            assert row["completion_us"] > 0
+            assert 0 < row["chunk_mean_us"] <= row["chunk_p99_us"]
+            assert row["chunk_p99_us"] <= row["completion_us"]
+            assert row["speedup_vs_df"] > 0
+
+    def test_ranking_contract(self):
+        res = _mini()
+        # Ranks are a permutation of 1..4, rank 1 is the fastest family,
+        # and the DragonFly baseline row carries speedup exactly 1.
+        ranked = sorted(res.rows, key=lambda r: r["rank"])
+        assert [r["rank"] for r in ranked] == [1, 2, 3, 4]
+        times = [r["completion_us"] for r in ranked]
+        assert times == sorted(times)
+        df = next(r for r in res.rows if r["topology"] == "DragonFly")
+        assert df["speedup_vs_df"] == 1.0
+
+    def test_deterministic_per_seed(self):
+        assert _mini().rows == _mini().rows
+        assert _mini().rows != _mini(seed=5).rows
+
+    def test_batched_backend_agrees_on_cell_structure(self):
+        ev = _mini()
+        bt = _mini(backend="batched")
+        # Same cells, same families; rankings may differ within tolerance
+        # but every row's identity columns line up.
+        key = ("collective", "algorithm", "n_nodes", "topology")
+        assert [[r[k] for k in key] for r in ev.rows] == [
+            [r[k] for k in key] for r in bt.rows
+        ]
+
+    def test_multi_cell_sweep_shape(self):
+        res = _mini(algorithms=("ring", "binary-tree"), n_nodes=(8, 11))
+        # 2 algorithms x 2 node counts x 4 families.
+        assert len(res.rows) == 16
+        assert {r["n_nodes"] for r in res.rows} == {8, 11}
+
+
+class TestRegistryEntry:
+    def test_registered_with_presets(self):
+        exp = get_experiment("collectives")
+        assert set(exp.presets) == {"small", "full"}
+        assert "collectives" in exp.tags
+        # Families must NOT be a cell axis: the ranking happens inside a
+        # cell, across all families on identical seeds.
+        assert exp.cell_axes == ("collectives", "algorithms", "n_nodes")
+
+    def test_small_preset_cells(self):
+        exp = get_experiment("collectives")
+        spec = exp.spec("small")
+        cells = exp.cells(spec)
+        # collectives x algorithms x n_nodes from the small preset.
+        assert len(cells) == 3 * 4 * 2
+
+    def test_declares_both_backend_features(self):
+        from repro.sim import capabilities as cap
+
+        exp = get_experiment("collectives")
+        assert cap.MOTIFS in exp.features
+        assert cap.COLLECTIVES in exp.features

@@ -1,0 +1,173 @@
+"""Hypothesis properties of the collective schedule generators.
+
+Every (collective, algorithm, rank count) combination must produce a
+chunk-level policy whose lowered DAG is executable and whose symbolic
+replay conserves chunks:
+
+* **Conservation** — every rank the collective promises a chunk to ends
+  owning the complete version: fully reduced (all p contributions,
+  exactly once) for allreduce/reduce-scatter, the origin contribution
+  for allgather.  ``required_ownership`` replays the schedule and raises
+  on any violation, including double-counted contributions.
+* **Executability** — message ids are ``0..n-1`` in list order (the
+  batched engine's closed-loop contract), dependencies point strictly
+  backwards, and the DAG is acyclic, so both engines can drain it.
+* **Trigger locality** — an entry's dependency trigger is ownership at
+  its source: every dep must be an earlier entry that delivered the
+  *same chunk to the sender*.
+* **Round counts** — ring allreduce takes 2(p−1) steps, recursive
+  doubling log₂p rounds, Rabenseifner a reduce-scatter phase plus an
+  allgather phase, with the non-power-of-two fold adding exactly one
+  pre- and one post-step.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.workloads.collectives import (
+    ALGORITHMS,
+    COLLECTIVES,
+    CollectiveMotif,
+    chunk_sizes,
+)
+
+ranks = st.integers(min_value=2, max_value=17)
+collectives = st.sampled_from(COLLECTIVES)
+algorithms = st.sampled_from(ALGORITHMS)
+payloads = st.integers(min_value=1, max_value=1 << 20)
+
+
+def _dag_is_acyclic(messages):
+    indeg = {m.mid: len(m.deps) for m in messages}
+    dependents = {}
+    for m in messages:
+        for d in m.deps:
+            dependents.setdefault(d, []).append(m.mid)
+    stack = [m.mid for m in messages if not m.deps]
+    seen = 0
+    while stack:
+        v = stack.pop()
+        seen += 1
+        for w in dependents.get(v, ()):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                stack.append(w)
+    return seen == len(messages)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coll=collectives, algo=algorithms, p=ranks, total=payloads)
+def test_conservation_and_executability(coll, algo, p, total):
+    motif = CollectiveMotif(coll, algo, p, total_bytes=total)
+    msgs = motif.generate()
+    # Conservation: the replay raises on incomplete or double-counted
+    # ownership; the id map must cover every chunk.
+    required = motif.required_ownership()
+    assert {c for (_, c) in required} == set(range(p))
+    # Executability on both engines.
+    assert [m.mid for m in msgs] == list(range(len(msgs)))
+    assert all(d < m.mid for m in msgs for d in m.deps)
+    assert all(m.src_rank != m.dst_rank for m in msgs)
+    assert _dag_is_acyclic(msgs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coll=collectives, algo=algorithms, p=ranks)
+def test_dependency_triggers_are_ownership_at_source(coll, algo, p):
+    # CCL policy semantics: an entry keyed (chunk_id, src) fires when src
+    # owns the chunk, so its deps may only be earlier deliveries of that
+    # same chunk *to* src.
+    entries = CollectiveMotif(coll, algo, p).schedule()
+    for e in entries:
+        assert e.key == (e.chunk_id, e.src)
+        for d in e.deps:
+            assert entries[d].chunk_id == e.chunk_id
+            assert entries[d].dst == e.src
+
+
+@settings(max_examples=60, deadline=None)
+@given(coll=collectives, p=ranks)
+def test_ring_round_counts(coll, p):
+    motif = CollectiveMotif(coll, "ring", p)
+    expected = 2 * (p - 1) if coll == "allreduce" else p - 1
+    assert motif.n_steps == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(coll=collectives, p=ranks)
+def test_recursive_doubling_round_counts(coll, p):
+    # log2(core) pairwise-exchange rounds; the non-power-of-two fold adds
+    # one pre-step and one post-step.
+    motif = CollectiveMotif(coll, "recursive-doubling", p)
+    core_rounds = (p.bit_length() - 1)
+    folded = p & (p - 1) != 0
+    assert motif.n_steps == core_rounds + (2 if folded else 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=ranks)
+def test_rabenseifner_phase_structure(p):
+    # Allreduce = reduce-scatter phase + allgather phase.  The halving
+    # phase shrinks per-step traffic, the doubling phase mirrors it.
+    motif = CollectiveMotif("allreduce", "rabenseifner", p)
+    core_rounds = p.bit_length() - 1
+    folded = p & (p - 1) != 0
+    assert motif.n_steps == 2 * core_rounds + (2 if folded else 0)
+    if not folded:
+        # The standalone halves compose exactly (when folded, each half
+        # re-pays the fold's pre/post steps, which allreduce shares).
+        rs = CollectiveMotif("reduce-scatter", "rabenseifner", p)
+        ag = CollectiveMotif("allgather", "rabenseifner", p)
+        assert rs.n_steps + ag.n_steps == motif.n_steps
+        # The reduce-scatter phase's per-step traffic shrinks as it
+        # converges onto per-rank blocks.
+        per_step_rs = [
+            sum(e.size for e in motif.schedule() if e.step == s)
+            for s in range(core_rounds)
+        ]
+        assert per_step_rs == sorted(per_step_rs, reverse=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coll=collectives, algo=algorithms,
+       p=st.integers(min_value=3, max_value=17).filter(
+           lambda v: v & (v - 1) != 0))
+def test_non_power_of_two_fallback(coll, algo, p):
+    # Odd rank counts must still generate, conserve, and drain: the fold
+    # (or the any-p ring/tree structure) absorbs the extras gracefully.
+    motif = CollectiveMotif(coll, algo, p)
+    motif.required_ownership()
+    assert _dag_is_acyclic(motif.generate())
+    if algo in ("recursive-doubling", "rabenseifner"):
+        entries = motif.schedule()
+        extras = set(range(1 << (p.bit_length() - 1), p))
+        # Pre-step: every extra rank ships its contribution inward;
+        # post-step: every extra rank receives its result back.
+        assert {e.src for e in entries if e.step == 0} == extras
+        last = motif.n_steps - 1
+        assert {e.dst for e in entries if e.step == last} == extras
+
+
+@settings(max_examples=40, deadline=None)
+@given(total=payloads, p=ranks)
+def test_chunk_sizes_tile_the_payload(total, p):
+    sizes = chunk_sizes(total, p)
+    assert len(sizes) == p
+    assert all(s >= 1 for s in sizes)
+    assert max(sizes) - min(sizes) <= 1
+    if total >= p:
+        assert sum(sizes) == total
+
+
+def test_parameters_validated():
+    with pytest.raises(ParameterError):
+        CollectiveMotif("alltoall", "ring", 4)
+    with pytest.raises(ParameterError):
+        CollectiveMotif("allreduce", "butterfly", 4)
+    with pytest.raises(ParameterError):
+        CollectiveMotif("allreduce", "ring", 1)
+    with pytest.raises(ParameterError):
+        CollectiveMotif("allreduce", "ring", 4, total_bytes=0)

@@ -21,7 +21,12 @@ from repro.sim import BatchedSimulator, NetworkSimulator, SimConfig
 from repro.sim import capabilities as cap
 from repro.sim.faults import FaultSchedule
 from repro.topology import build_lps
-from repro.workloads import Sweep3DMotif, run_motif
+from repro.workloads import (
+    CollectiveMotif,
+    Sweep3DMotif,
+    run_collective,
+    run_motif,
+)
 
 
 @pytest.fixture(scope="module")
@@ -58,6 +63,17 @@ def _exercise_motifs(parts, backend):
         placement_seed=1, backend=backend,
     )
     assert out["delivered_fraction"] == 1.0
+
+
+def _exercise_collectives(parts, backend):
+    topo, tables = parts
+    out = run_collective(
+        topo, make_routing("minimal", tables, seed=0),
+        CollectiveMotif("allreduce", "ring", 4, total_bytes=1024),
+        SimConfig(concentration=2), placement_seed=1, backend=backend,
+    )
+    assert out["ownership_complete"] is True
+    assert out["chunk_done_max_ns"] == out["makespan_ns"]
 
 
 def _exercise_faults(parts, backend):
@@ -128,6 +144,7 @@ def _exercise_adhoc_send(parts, backend):
 _EXERCISES = {
     cap.OPEN_LOOP: _exercise_open_loop,
     cap.MOTIFS: _exercise_motifs,
+    cap.COLLECTIVES: _exercise_collectives,
     cap.FAULTS: _exercise_faults,
     cap.FINITE_BUFFERS: _exercise_finite_buffers,
     cap.PAUSE_RESUME: _exercise_pause_resume,

@@ -46,7 +46,15 @@ from repro.topology import (
     build_paley,
     build_slimfly,
 )
-from repro.workloads import FFTMotif, Halo3D26Motif, Sweep3DMotif, run_motif
+from repro.workloads import (
+    CollectiveMotif,
+    FFTMotif,
+    Halo3D26Motif,
+    Sweep3DMotif,
+    run_collective,
+    run_motif,
+)
+from repro.workloads.collectives import ALGORITHMS, COLLECTIVES
 
 # The whole module runs in the dedicated CI matrix job (see ci.yml); the
 # shard variable lets that job split the config list across matrix entries
@@ -391,3 +399,123 @@ class TestFaultedDifferential:
         assert {c["family"] for c in cfgs} == set(_FAMILIES)
         assert {c["routing"] for c in cfgs} == set(_ROUTINGS)
         assert {c["recover"] for c in cfgs} == {True, False}
+
+
+# ---------------------------------------------------------------------------
+# Chunk-level collectives: event DAG runner vs batched frontier runner
+# ---------------------------------------------------------------------------
+#: Relative tolerance per (policy, metric) for collective runs (same table
+#: in docs/performance.md); ``delivered`` and the chunk-ownership end
+#: state are always exact.  Calibrated at roughly 2x the worst deviation
+#: over the stratified config grid below plus a denser
+#: collective x algorithm x rank-count sweep on the LPS family (worst
+#: observed: 10.3% makespan under valiant, 9.1% mean hops under ugal,
+#: 6.1% makespan under minimal).  Makespan is a single-chain tail, so it
+#: carries more noise than the per-message means; ``chunk_done_mean_ns``
+#: averages per-chunk completion instants, sitting between the two.
+COLLECTIVE_TOLERANCES = {
+    "minimal": {"mean_latency_ns": 0.06, "mean_hops": 0.02,
+                "makespan_ns": 0.14, "chunk_done_mean_ns": 0.10},
+    "valiant": {"mean_latency_ns": 0.06, "mean_hops": 0.06,
+                "makespan_ns": 0.22, "chunk_done_mean_ns": 0.14},
+    "ugal": {"mean_latency_ns": 0.06, "mean_hops": 0.20,
+             "makespan_ns": 0.16, "chunk_done_mean_ns": 0.10},
+    "ugal-g": {"mean_latency_ns": 0.05, "mean_hops": 0.06,
+               "makespan_ns": 0.10, "chunk_done_mean_ns": 0.08},
+}
+
+
+def _collective_configs():
+    """8 stratified (collective, algorithm, family, routing, p) combos.
+
+    ``i % 3`` x ``i % 4`` walks all eight distinct (collective,
+    algorithm) pairs; families, routings, and both rank counts (one a
+    power of two, one not — the fold path) rotate underneath.
+    """
+    families = sorted(_FAMILIES)
+    colls = sorted(COLLECTIVES)
+    algos = sorted(ALGORITHMS)
+    configs = []
+    for i in range(8):
+        configs.append(
+            {
+                "collective": colls[i % 3],
+                "algorithm": algos[i % 4],
+                "family": families[(i // 2) % 4],
+                "routing": _ROUTINGS[i % 4],
+                "p": (12, 16)[i % 2],
+                "seed": 17 + 5 * i,
+            }
+        )
+    return configs
+
+
+def _collective_id(cfg):
+    return (
+        f"{cfg['collective']}-{cfg['algorithm']}-{cfg['family']}"
+        f"-{cfg['routing']}-p{cfg['p']}-s{cfg['seed']}"
+    )
+
+
+class TestCollectiveDifferential:
+    """Collective schedules agree across engines within tolerances."""
+
+    def _run(self, topos, cfg, backend):
+        topo = topos[cfg["family"]]
+        tables = RoutingTables(topo.graph)
+        policy = make_routing(cfg["routing"], tables, seed=cfg["seed"])
+        return run_collective(
+            topo, policy,
+            CollectiveMotif(
+                cfg["collective"], cfg["algorithm"], cfg["p"],
+                total_bytes=1 << 13,
+            ),
+            SimConfig(concentration=2),
+            placement_seed=cfg["seed"] + 1, backend=backend,
+        )
+
+    @pytest.mark.parametrize(
+        "cfg", _shard(_collective_configs()), ids=_collective_id
+    )
+    def test_batched_collective_matches_event_within_tolerance(
+        self, topos, cfg
+    ):
+        ev = self._run(topos, cfg, "event")
+        bt = self._run(topos, cfg, "batched")
+        # The DAG drains identically: same messages, all delivered, and
+        # the chunk-ownership end state matches exactly — both engines
+        # finish the *same* collective, not merely similar traffic.
+        assert bt["n_messages"] == ev["n_messages"]
+        assert bt["delivered"] == ev["delivered"] == ev["n_messages"]
+        assert bt["final_owners"] == ev["final_owners"]
+        assert bt["ownership_complete"] and ev["ownership_complete"]
+        # Exact-boundary drain on both engines: the last chunk completes
+        # at the makespan itself, never before, never dropped.
+        for out in (ev, bt):
+            assert out["chunk_done_max_ns"] == out["makespan_ns"]
+        tol = COLLECTIVE_TOLERANCES[cfg["routing"]]
+        for metric, rel_tol in tol.items():
+            a, b = ev[metric], bt[metric]
+            assert a > 0, (metric, a)
+            rel = abs(b - a) / a
+            assert rel <= rel_tol, (
+                f"{metric}: event={a:.2f} batched={b:.2f} "
+                f"rel={rel:.3f} > tol={rel_tol} in {_collective_id(cfg)}"
+            )
+
+    def test_batched_collective_is_deterministic(self, topos):
+        cfg = _collective_configs()[0]
+        a = self._run(topos, cfg, "batched")
+        b = self._run(topos, cfg, "batched")
+        assert a == b
+
+    def test_collective_sampler_covers_the_axes(self):
+        cfgs = _collective_configs()
+        assert len(cfgs) >= 8
+        assert {c["collective"] for c in cfgs} == set(COLLECTIVES)
+        assert {c["algorithm"] for c in cfgs} == set(ALGORITHMS)
+        assert {c["routing"] for c in cfgs} == set(_ROUTINGS)
+        assert len({c["family"] for c in cfgs}) >= 3
+        # Both the power-of-two path and the fold path are sampled.
+        assert any(c["p"] & (c["p"] - 1) == 0 for c in cfgs)
+        assert any(c["p"] & (c["p"] - 1) != 0 for c in cfgs)

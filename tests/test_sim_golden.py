@@ -35,7 +35,14 @@ from repro.routing import make_routing
 from repro.sim import SimConfig
 from repro.sim.faults import FaultSchedule
 from repro.topology import SIM_CONFIGS
-from repro.workloads import FFTMotif, Halo3D26Motif, Sweep3DMotif, run_motif
+from repro.workloads import (
+    CollectiveMotif,
+    FFTMotif,
+    Halo3D26Motif,
+    Sweep3DMotif,
+    run_collective,
+    run_motif,
+)
 
 # Runs in the dedicated differential/golden CI matrix job (see ci.yml).
 pytestmark = pytest.mark.differential
@@ -96,6 +103,20 @@ FAULT_CELLS = [
     ("DragonFly", "ugal-g", 0.05, True, 7),
 ]
 
+#: Collective corpus cells (schema 3):
+#: (family, routing, collective, algorithm, n_ranks, seed).  Pins the
+#: chunk-level schedules end to end on the event engine — the full
+#: ``run_collective`` summary including every per-chunk completion time
+#: (``chunk_done_ns``), bit for bit.  Covers all four algorithms and a
+#: non-power-of-two rank count (the fold path).
+COLLECTIVE_CELLS = [
+    ("SpectralFly", "minimal", "allreduce", "ring", 12, 7),
+    ("DragonFly", "ugal", "reduce-scatter", "rabenseifner", 11, 7),
+    ("SlimFly", "valiant", "allgather", "binary-tree", 16, 7),
+    ("BundleFly", "minimal", "allreduce", "recursive-doubling", 16, 7),
+]
+COLLECTIVE_BYTES = 1 << 13
+
 
 def make_motif(kind: str, n_ranks: int):
     """The corpus motif instances (small and fixed, like the cells)."""
@@ -124,6 +145,11 @@ def fault_cell_id(cell) -> str:
         f"{family}-{routing}-f{fraction}"
         f"-{'rec' if recover else 'norec'}-s{seed}"
     )
+
+
+def collective_cell_id(cell) -> str:
+    family, routing, coll, algo, p, seed = cell
+    return f"{family}-{routing}-{coll}-{algo}-p{p}-s{seed}"
 
 
 def collect_cell(cell) -> dict:
@@ -199,6 +225,27 @@ def collect_fault_cell(cell) -> dict:
     return out
 
 
+def collect_collective_cell(cell) -> dict:
+    """Run one collective cell on the event engine; pin its full summary.
+
+    ``run_collective``'s output carries the whole observable surface of a
+    chunk-level schedule — delivery counters, makespan, final ownership,
+    and the per-chunk completion instants (``chunk_done_ns``), so equality
+    pins each chunk's trajectory, not just the aggregate.
+    """
+    family, routing, coll, algo, p, seed = cell
+    spec = SIM_CONFIGS["small"]["topologies"][family]
+    topo = spec["build"]()
+    tables = cached_tables(topo)
+    policy = make_routing(routing, tables, seed=seed)
+    return run_collective(
+        topo, policy,
+        CollectiveMotif(coll, algo, p, total_bytes=COLLECTIVE_BYTES),
+        SimConfig(concentration=spec["concentration"]),
+        placement_seed=seed + 1, backend="event",
+    )
+
+
 @pytest.fixture(scope="module")
 def golden():
     assert GOLDEN_PATH.exists(), (
@@ -217,6 +264,10 @@ class TestGoldenCorpus:
         assert list(golden["fault_cells"]) == [
             fault_cell_id(c) for c in FAULT_CELLS
         ]
+        assert list(golden["collective_cells"]) == [
+            collective_cell_id(c) for c in COLLECTIVE_CELLS
+        ]
+        assert golden["schema"] == 3
         assert golden["n_ranks"] == N_RANKS
         assert golden["packets_per_rank"] == PACKETS_PER_RANK
 
@@ -258,6 +309,29 @@ class TestGoldenCorpus:
                 "the commit"
             )
 
+    @pytest.mark.parametrize("cell", COLLECTIVE_CELLS, ids=collective_cell_id)
+    def test_event_collective_bit_for_bit(self, golden, cell):
+        expected = golden["collective_cells"][collective_cell_id(cell)]
+        actual = collect_collective_cell(cell)
+        assert set(actual) == set(expected)
+        for key in expected:
+            assert actual[key] == expected[key], (
+                f"collective summary {key!r} drifted in "
+                f"{collective_cell_id(cell)} — per-chunk completion times "
+                "are pinned bit for bit; if the change is intentional, "
+                "regenerate with scripts/make_golden_sim.py and say so in "
+                "the commit"
+            )
+
+    def test_collective_cells_pin_per_chunk_times(self, golden):
+        # Every collective cell carries one completion instant per chunk,
+        # the last of which *is* the makespan (the exact-boundary drain
+        # invariant), and a complete ownership end state.
+        for c in golden["collective_cells"].values():
+            assert len(c["chunk_done_ns"]) == c["n_chunks"] == c["n_ranks"]
+            assert max(c["chunk_done_ns"]) == c["makespan_ns"]
+            assert c["ownership_complete"] is True
+
     def test_fault_cells_actually_exercise_faults(self, golden):
         # A faulted corpus that never drops or reroutes pins nothing.
         cells = golden["fault_cells"].values()
@@ -275,3 +349,9 @@ class TestGoldenCorpus:
         # The scenario cells keep their own axes covered too.
         assert {c[2] for c in MOTIF_CELLS} == {"fft", "halo3d", "sweep3d"}
         assert {c[3] for c in FAULT_CELLS} == {True, False}
+        # Collective cells span all four algorithms and include the
+        # non-power-of-two fold path.
+        assert {c[3] for c in COLLECTIVE_CELLS} == {
+            "ring", "recursive-doubling", "binary-tree", "rabenseifner"
+        }
+        assert any(c[4] & (c[4] - 1) for c in COLLECTIVE_CELLS)
