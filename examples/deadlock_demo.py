@@ -3,9 +3,10 @@
 
 Runs the textbook scenario on a ring with credit-based finite buffers:
 every router forwards clockwise toward an antipodal destination.  With a
-single virtual channel the buffer-wait cycle closes and the network wedges;
-with the paper's hop-incremented VC scheme (d+1 channels) the identical
-workload completes.
+single virtual channel the buffer-wait cycle closes and the network wedges
+— the simulator raises a structured BufferDeadlockError naming one cyclic
+(edge, VC) wait-for chain (see docs/congestion.md); with the paper's
+hop-incremented VC scheme (d+1 channels) the identical workload completes.
 
 Run:  python examples/deadlock_demo.py
 """
@@ -18,6 +19,7 @@ from repro import (
     Topology,
     cycle_graph,
 )
+from repro.errors import BufferDeadlockError
 
 
 class ClockwiseRouting(RoutingPolicy):
@@ -57,13 +59,20 @@ def main():
     n = 12
     print(f"ring of {n} routers, clockwise routing, 1-packet buffers\n")
     for n_vcs in (1, 2, n // 2 + 1):
-        stats = run_ring(n_vcs, n=n)
-        s = stats.summary()
-        status = "DEADLOCKED" if stats.deadlocked else "completed"
+        try:
+            stats = run_ring(n_vcs, n=n)
+        except BufferDeadlockError as err:
+            witness = " -> ".join(f"e{e}/vc{v}" for e, v in err.cycle)
+            print(
+                f"VCs={n_vcs}: DEADLOCKED  delivered="
+                f"{err.stats.summary()['delivered']}/{err.stats.n_injected}"
+                f"  (stuck packets: {err.undelivered})"
+                f"\n        wait-for cycle: {witness}"
+            )
+            continue
         print(
-            f"VCs={n_vcs}: {status}  delivered={s['delivered']}/"
-            f"{stats.n_injected}"
-            + (f"  (stuck packets: {stats.undelivered})" if stats.deadlocked else "")
+            f"VCs={n_vcs}: completed  "
+            f"delivered={stats.summary()['delivered']}/{stats.n_injected}"
         )
     print(
         "\nhop-incremented VCs make the channel dependency graph acyclic "

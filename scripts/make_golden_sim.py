@@ -23,6 +23,7 @@ for p in (str(ROOT / "src"), str(ROOT / "tests")):
 from test_sim_golden import (  # noqa: E402
     CELLS,
     COLLECTIVE_CELLS,
+    CONGESTION_CELLS,
     FAULT_CELLS,
     GOLDEN_PATH,
     MOTIF_CELLS,
@@ -31,9 +32,11 @@ from test_sim_golden import (  # noqa: E402
     cell_id,
     collect_cell,
     collect_collective_cell,
+    collect_congestion_cell,
     collect_fault_cell,
     collect_motif_cell,
     collective_cell_id,
+    congestion_cell_id,
     fault_cell_id,
     motif_cell_id,
 )
@@ -41,7 +44,7 @@ from test_sim_golden import (  # noqa: E402
 
 def main() -> int:
     corpus = {
-        "schema": 3,
+        "schema": 4,
         "kind": "repro-sim-golden",
         "backend": "event",
         "n_ranks": N_RANKS,
@@ -50,6 +53,7 @@ def main() -> int:
         "motif_cells": {},
         "fault_cells": {},
         "collective_cells": {},
+        "congestion_cells": {},
     }
     for cell in CELLS:
         name = cell_id(cell)
@@ -67,6 +71,10 @@ def main() -> int:
         name = collective_cell_id(cell)
         print(f"  collective {name}...")
         corpus["collective_cells"][name] = collect_collective_cell(cell)
+    for cell in CONGESTION_CELLS:
+        name = congestion_cell_id(cell)
+        print(f"  congested {name}...")
+        corpus["congestion_cells"][name] = collect_congestion_cell(cell)
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(corpus, indent=1) + "\n")
     n_lat = sum(len(c["latencies_ns"]) for c in corpus["cells"].values())
@@ -74,7 +82,8 @@ def main() -> int:
         f"wrote {GOLDEN_PATH} ({len(CELLS)} open-loop cells / {n_lat} "
         f"packets, {len(MOTIF_CELLS)} motif cells, "
         f"{len(FAULT_CELLS)} faulted cells, "
-        f"{len(COLLECTIVE_CELLS)} collective cells)"
+        f"{len(COLLECTIVE_CELLS)} collective cells, "
+        f"{len(CONGESTION_CELLS)} congested cells)"
     )
     return 0
 

@@ -140,6 +140,10 @@ def build_synthetic_sim(
     capabilities.require(backend, capabilities.OPEN_LOOP)
     if faults is not None:
         capabilities.require(backend, capabilities.FAULTS)
+    if cfg.finite_buffers:
+        capabilities.require(backend, capabilities.FINITE_BUFFERS)
+    if cfg.channel is not None:
+        capabilities.require(backend, capabilities.LOSSY_LINKS)
     tables = cached_tables(topo)
     routing = make_routing(routing_name, tables, seed=seed)
     if backend == "batched":

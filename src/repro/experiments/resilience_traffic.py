@@ -35,6 +35,12 @@ def _cached_topo(scale: str, family: str):
     return cached(("sim-topo", scale, family), spec["build"]), spec
 
 
+def _round0(x: float) -> float:
+    """``round(x)`` that passes NaN through (total-loss rows carry NaN
+    latency aggregates rather than omitting the keys; see SimStats)."""
+    return round(x) if x == x else x
+
+
 def run(
     scale: str = "small",
     families: tuple[str, ...] = ("SpectralFly", "DragonFly", "SlimFly", "BundleFly"),
@@ -113,8 +119,8 @@ def run(
                         "dropped": s["dropped"],
                         "requeued": s["requeued"],
                         "nonminimal_hops": s["nonminimal_hops"],
-                        "mean_latency_ns": round(s.get("mean_latency_ns", 0.0)),
-                        "p99_latency_ns": round(s.get("p99_latency_ns", 0.0)),
+                        "mean_latency_ns": _round0(s.get("mean_latency_ns", 0.0)),
+                        "p99_latency_ns": _round0(s.get("p99_latency_ns", 0.0)),
                         "max_vs_pristine": round(
                             s.get("max_latency_ns", 0.0) / base_max_latency, 3
                         )

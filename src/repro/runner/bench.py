@@ -36,11 +36,12 @@ from typing import Any
 #
 # ``scenarios`` are the capability-gap cells added when the batched engine
 # learnt motifs and fault schedules: one closed-loop motif run, one
-# mid-run-faulted open-loop run, and one chunk-level collective schedule
-# (ring allreduce lowered to a motif DAG), each timed per backend (engine
-# run only — workload generation and topology construction stay outside
-# the timer).  Their batched-vs-event speedups land in
-# ``summary_scenarios``.
+# mid-run-faulted open-loop run, one chunk-level collective schedule
+# (ring allreduce lowered to a motif DAG), and one congested run (finite
+# credit/backpressure buffers plus a lossy retransmitting channel), each
+# timed per backend (engine run only — workload generation and topology
+# construction stay outside the timer).  Their batched-vs-event speedups
+# land in ``summary_scenarios``.
 BENCH_PRESETS: dict[str, dict[str, Any]] = {
     "smoke": {
         "scale": "small",
@@ -60,6 +61,10 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
             "collective": {"topology": "SpectralFly", "routing": "minimal",
                            "collective": "allreduce", "algorithm": "ring",
                            "n_ranks": 64, "total_bytes": 1 << 15},
+            "congested": {"topology": "SpectralFly", "routing": "ugal",
+                          "pattern": "random", "load": 0.55, "n_ranks": 256,
+                          "packets_per_rank": 8, "buffer_packets": 1,
+                          "loss_prob": 0.02, "max_attempts": 2},
         },
     },
     "small": {
@@ -85,6 +90,10 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
             "collective": {"topology": "SpectralFly", "routing": "minimal",
                            "collective": "allreduce", "algorithm": "ring",
                            "n_ranks": 128, "total_bytes": 1 << 16},
+            "congested": {"topology": "SpectralFly", "routing": "ugal",
+                          "pattern": "random", "load": 0.55, "n_ranks": 512,
+                          "packets_per_rank": 15, "buffer_packets": 1,
+                          "loss_prob": 0.02, "max_attempts": 2},
         },
     },
     "full": {
@@ -110,6 +119,10 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
             "collective": {"topology": "SpectralFly", "routing": "minimal",
                            "collective": "allreduce", "algorithm": "ring",
                            "n_ranks": 1024, "total_bytes": 1 << 18},
+            "congested": {"topology": "SpectralFly", "routing": "ugal",
+                          "pattern": "random", "load": 0.55, "n_ranks": 8192,
+                          "packets_per_rank": 15, "buffer_packets": 1,
+                          "loss_prob": 0.02, "max_attempts": 2},
         },
     },
 }
@@ -379,14 +392,78 @@ def run_faulted_cell(
     return row
 
 
+def run_congested_cell(
+    topo,
+    routing: str,
+    pattern: str,
+    load: float,
+    concentration: int,
+    n_ranks: int,
+    packets_per_rank: int,
+    buffer_packets: int,
+    loss_prob: float,
+    max_attempts: int = 2,
+    seed: int = BENCH_SEED,
+    backend: str = "event",
+) -> dict[str, Any]:
+    """Time one open-loop run under congestion realism.
+
+    Finite credit/backpressure input buffers of ``buffer_packets``
+    packets plus a lossy retransmitting channel — the configuration the
+    saturation-congestion experiment sweeps, timed per backend so the
+    batched credit loop's speedup is a tracked figure.
+    """
+    from repro.experiments.common import build_synthetic_sim
+    from repro.sim import ChannelConfig, SimConfig
+
+    cfg = SimConfig(
+        concentration=concentration,
+        finite_buffers=buffer_packets > 0,
+        buffer_bytes=max(buffer_packets, 1) * 4096,
+        channel=ChannelConfig(
+            loss_prob=loss_prob, jitter_ns=10.0,
+            max_attempts=max_attempts, backoff_ns=30.0, seed=seed,
+        ) if loss_prob > 0.0 else None,
+    )
+    net = build_synthetic_sim(
+        topo, routing, pattern, load, concentration=concentration,
+        n_ranks=n_ranks, packets_per_rank=packets_per_rank, seed=seed,
+        config=cfg, backend=backend,
+    )
+    t0 = time.perf_counter()
+    stats = net.run()
+    wall = time.perf_counter() - t0
+    summary = stats.summary()
+    delivered = int(summary.get("delivered", 0))
+    return {
+        "workload": f"congested:b{buffer_packets}-p{loss_prob}",
+        "topology": topo.name,
+        "routing": routing,
+        "pattern": pattern,
+        "load": load,
+        "backend": backend,
+        "n_ranks": n_ranks,
+        "packets_per_rank": packets_per_rank,
+        "delivered": delivered,
+        "dropped": int(stats.n_dropped),
+        "retransmits": int(stats.n_retransmits),
+        "events": int(getattr(stats, "n_events", 0)),
+        "wall_s": round(wall, 4),
+        "packets_per_s": round(delivered / wall, 1) if wall > 0 else 0.0,
+        "mean_latency_ns": round(
+            float(summary.get("mean_latency_ns", 0.0)), 2
+        ),
+    }
+
+
 def run_scenarios(
     preset: str,
     repeats: int = 1,
     progress=None,
     backends: tuple[str, ...] | None = None,
 ) -> list[dict[str, Any]]:
-    """Run the preset's scenario cells (motif, collective, faulted) per
-    backend."""
+    """Run the preset's scenario cells (motif, collective, faulted,
+    congested) per backend."""
     from repro.topology import SIM_CONFIGS
 
     spec = BENCH_PRESETS[preset]
@@ -414,6 +491,16 @@ def run_scenarios(
                         topo, sc["routing"], sc["collective"],
                         sc["algorithm"], conc, n_ranks=sc["n_ranks"],
                         total_bytes=sc["total_bytes"], backend=backend,
+                    )
+                elif kind == "congested":
+                    row = run_congested_cell(
+                        topo, sc["routing"], sc["pattern"], sc["load"],
+                        concentration=conc, n_ranks=sc["n_ranks"],
+                        packets_per_rank=sc["packets_per_rank"],
+                        buffer_packets=sc["buffer_packets"],
+                        loss_prob=sc["loss_prob"],
+                        max_attempts=sc.get("max_attempts", 2),
+                        backend=backend,
                     )
                 else:
                     row = run_faulted_cell(

@@ -399,6 +399,41 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         features=(capabilities.OPEN_LOOP,),
     ),
     ExperimentDef(
+        name="saturation-congestion",
+        title="Saturation under congestion — routing rankings with finite buffers and lossy links",
+        fn="repro.experiments.saturation_congestion:run",
+        presets={
+            "small": {
+                "scale": "small",
+                "families": ("SpectralFly", "DragonFly", "SlimFly",
+                             "BundleFly"),
+                "routings": ("minimal", "valiant", "ugal"),
+                "load": 0.55,
+                "packets_per_rank": 10,
+                # Both engines implement finite buffers and lossy links;
+                # the batched one is the fast path (--set backend=batched,
+                # tolerances in docs/performance.md).
+                "backend": "event",
+            },
+            "full": {
+                "scale": "paper",
+                "families": ("SpectralFly", "DragonFly", "SlimFly",
+                             "BundleFly"),
+                "routings": ("minimal", "valiant", "ugal"),
+                "load": 0.55,
+                "packets_per_rank": 20,
+                "backend": "event",
+            },
+        },
+        # The ranking and its inversion flag are computed inside a family
+        # cell (across routings and regimes), so only families split.
+        cell_axes=("families",),
+        tags=("extension", "simulation", "congestion"),
+        runtime="~2 min",
+        features=(capabilities.OPEN_LOOP, capabilities.FINITE_BUFFERS,
+                  capabilities.LOSSY_LINKS),
+    ),
+    ExperimentDef(
         name="resilience-traffic",
         title="Resilience under live traffic — mid-run link failures vs throughput/latency",
         fn="repro.experiments.resilience_traffic:run",

@@ -8,6 +8,7 @@ while staying tractable in Python.
 
 from repro.sim.packet import Packet
 from repro.sim.batched import BatchedSimulator
+from repro.sim.channel import ChannelConfig
 from repro.sim.faults import FaultEvent, FaultSchedule
 from repro.sim.network import NetworkSimulator, SimConfig
 from repro.sim.traffic import (
@@ -27,6 +28,7 @@ __all__ = [
     "NetworkSimulator",
     "SimConfig",
     "SimStats",
+    "ChannelConfig",
     "FaultEvent",
     "FaultSchedule",
     "UniformRandomTraffic",

@@ -60,12 +60,30 @@ families the paper's figures need:
   to float rounding) and uses the cycle grid only to batch contention
   decisions.
 
-Still not supported here (use the event engine): finite (blocking)
-buffers, ``run(until=...)`` pause/resume, ad-hoc ``send()`` calls, and
-delivery callbacks.  Every refusal goes through the capability matrix
-(:mod:`repro.sim.capabilities`) and raises the one canonical
-:class:`~repro.errors.BackendCapabilityError` — construction-time errors,
-not silent fallbacks.
+The congestion-realism PR added two more scenario families to the
+open-loop path (see ``docs/congestion.md``):
+
+* **credit/backpressure finite buffers** (``config.finite_buffers``):
+  per-(directed edge, VC) credit counters threaded through the packed-key
+  winner pick — a port's FIFO segment is scanned for the *first entry
+  whose downstream input buffer has room* (the batch analogue of the
+  event engine's round-robin VC skip), winners transfer their credit
+  hold-until-departure exactly like ``NetworkSimulator._port_done``, and
+  a wedged waiting set with no external work left raises the same
+  structured :class:`~repro.errors.BufferDeadlockError` as the event
+  engine's drain check;
+* **lossy/jittery links** (``config.channel``, :mod:`repro.sim.channel`):
+  winners crossing a link evaluate the shared counter-hash channel —
+  identical loss/retransmit outcomes to the event engine by construction
+  — accumulating exact extra nanoseconds into the drain-time latency and
+  deferring congested arrivals by whole cycles when the delay spans them.
+
+Still not supported here (use the event engine): ``run(until=...)``
+pause/resume, ad-hoc ``send()`` calls, delivery callbacks, and combining
+finite buffers or lossy links with closed-loop motif runs.  Every refusal
+goes through the capability matrix (:mod:`repro.sim.capabilities`) and
+raises the one canonical :class:`~repro.errors.BackendCapabilityError` —
+construction-time errors, not silent fallbacks.
 """
 
 from __future__ import annotations
@@ -75,10 +93,15 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import BackendCapabilityError, SimulationError
+from repro.errors import (
+    BackendCapabilityError,
+    BufferDeadlockError,
+    SimulationError,
+)
 from repro.routing.algorithms import RoutingPolicy
 from repro.routing.tables import RoutingTables
 from repro.sim import capabilities
+from repro.sim.channel import ChannelModel, packet_key
 from repro.sim.stats import SimStats
 from repro.topology.base import Topology
 
@@ -127,6 +150,8 @@ class BatchedSimulator:
     ) -> None:
         if config.finite_buffers:
             capabilities.require("batched", capabilities.FINITE_BUFFERS)
+        if config.channel is not None:
+            capabilities.require("batched", capabilities.LOSSY_LINKS)
         if routing.name not in ("minimal", "valiant", "ugal", "ugal-g"):
             raise SimulationError(
                 f"no vectorized implementation of routing {routing.name!r}; "
@@ -167,6 +192,26 @@ class BatchedSimulator:
         self._switch = config.switch_latency_ns
         self._link = config.link_latency_ns
         self.rng = routing.rng  # engine draws: tie-breaks, routing uniforms
+
+        # Credit/backpressure finite buffers: per-(directed edge, VC)
+        # occupancy, same layout as NetworkSimulator._buf_used so the
+        # hold-until-departure semantics line up entry for entry.
+        self.n_vcs = routing.required_vcs()
+        self._buf_used = (
+            np.zeros((self._n_dir, self.n_vcs), dtype=np.int64)
+            if config.finite_buffers
+            else None
+        )
+        # Lossy-link channel model (None on the pristine path); the extra
+        # per-packet nanoseconds it produces accumulate in _ch_delay and
+        # join the analytic latency at drain time.
+        self._channel = (
+            ChannelModel(config.channel, config.link_latency_ns)
+            if config.channel is not None
+            else None
+        )
+        self._ch_keys: np.ndarray | None = None
+        self._ch_delay: np.ndarray | None = None
 
         #: Per-packet byte sizes in closed-loop (motif) mode; ``None`` in
         #: open-loop mode, whose packets all weigh ``config.packet_bytes``.
@@ -353,7 +398,14 @@ class BatchedSimulator:
         self._phase = np.zeros(n, dtype=np.int64)
         self._wait = np.zeros(n, dtype=np.int64)  # queueing, in cycles
         self._uncontested = np.zeros(n, dtype=np.int64)  # hops w/o queueing
-        self._dropped = np.zeros(n, dtype=bool)  # fault losses (fault mode)
+        self._dropped = np.zeros(n, dtype=bool)  # fault/channel losses
+        if self._channel is not None:
+            # ``cols`` is each packet's injection index within its source
+            # — the same per-endpoint counter the event engine's send()
+            # keeps — so the composed keys, and with them every channel
+            # draw, coincide across engines.
+            self._ch_keys = packet_key(src_ep, cols)
+            self._ch_delay = np.zeros(n)
 
         # Arrival (first contention) cycle at the source router.
         t_arr = nic_done + self._link
@@ -383,6 +435,25 @@ class BatchedSimulator:
         ev_ptr = 0
         n_ev_f = len(self._ev_cycles) if faulted else 0
         events_f = self._fault_schedule.events if faulted else ()
+        finite = self._buf_used is not None
+        buf = self._buf_used
+        B = self.config.buffer_bytes
+        size = self._size
+        n_vcs = self.n_vcs
+        if finite:
+            # Hold-until-departure credit state: the (edge, VC) input
+            # buffer each packet currently occupies (-1 = none, fresh
+            # from its NIC), mirroring Packet.occupies_edge/occupies_vc.
+            self._occ_edge = np.full(n, -1, dtype=np.int64)
+            self._occ_vc = np.zeros(n, dtype=np.int64)
+            self._ejected = np.zeros(n, dtype=bool)
+        ch = self._channel
+        tau = self._tau
+        # Channel-delayed arrivals whose extra nanoseconds span whole
+        # cycles: chunks of packet ids filed under their due cycle (the
+        # open-loop analogue of the closed-loop arrival heap).
+        def_arr: dict[int, list] = {}
+        def_heap: list[int] = []
         c = int(c0_sorted[0])
         if n_ev_f:
             c = min(c, int(self._ev_cycles[0]))
@@ -407,7 +478,8 @@ class BatchedSimulator:
                     self._arrive(np.concatenate(rq_all), c, at_source=False)
                     grew_rq = True
 
-            # a) arrivals: forwarded packets from last cycle + injections.
+            # a) arrivals: forwarded packets from last cycle + channel-
+            # delayed packets now due + injections.
             hi = int(np.searchsorted(c0_sorted, c, side="right"))
             newly = order[inj_ptr:hi]
             inj_ptr = hi
@@ -416,13 +488,22 @@ class BatchedSimulator:
             ) or grew_rq
             if pending is not None and pending.size:
                 self._arrive(pending, c, at_source=False)
+            if def_heap and def_heap[0] <= c:
+                chunks: list[np.ndarray] = []
+                while def_heap and def_heap[0] <= c:
+                    chunks.extend(def_arr.pop(heapq.heappop(def_heap)))
+                late = (
+                    chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                )
+                self._arrive(late, c, at_source=False)
+                grew = True
             if newly.size:
                 self._arrive(newly, c, at_source=True)
             pending = None
 
             comb = self._w_comb
             if comb.size == 0:
-                if inj_ptr >= n:
+                if inj_ptr >= n and not def_heap:
                     # Drained.  Remaining schedule events still apply (the
                     # event engine processes its _FAULT events regardless),
                     # so recovery bookkeeping and epoch marks stay exact;
@@ -434,7 +515,11 @@ class BatchedSimulator:
                             ev_ptr += 1
                         self._rebuild_masked()
                     break
-                c = int(c0_sorted[inj_ptr])  # skip idle cycles
+                # Skip idle cycles to the next external work: a pending
+                # injection, a channel-deferred arrival, or a fault event.
+                c = int(c0_sorted[inj_ptr]) if inj_ptr < n else def_heap[0]
+                if def_heap:
+                    c = min(c, def_heap[0])
                 if ev_ptr < n_ev_f:
                     c = min(c, int(self._ev_cycles[ev_ptr]))
                 continue
@@ -446,11 +531,49 @@ class BatchedSimulator:
                 if counts.size:
                     max_q = max(max_q, int(counts.max()))
 
-            # b) contention: one winner per port — first of each segment
-            # of the sorted keys.
-            first = np.empty(comb.size, dtype=bool)
-            first[0] = True
-            np.not_equal(ports[1:], ports[:-1], out=first[1:])
+            # b) contention: one winner per port.  Unbounded buffers take
+            # the first of each segment of the sorted keys; finite buffers
+            # take the first entry of the segment whose downstream input
+            # buffer has room at the cycle's opening credits (the batch
+            # analogue of the event engine's round-robin VC skip) — a
+            # port whose whole segment is blocked stays idle this cycle.
+            if not finite:
+                first = np.empty(comb.size, dtype=bool)
+                first[0] = True
+                np.not_equal(ports[1:], ports[:-1], out=first[1:])
+            else:
+                seg_first = np.empty(comb.size, dtype=bool)
+                seg_first[0] = True
+                np.not_equal(ports[1:], ports[:-1], out=seg_first[1:])
+                is_ej = ports >= n_dir
+                vc_e = np.minimum(self._hops[self._w_idx], n_vcs - 1)
+                used = buf[np.where(is_ej, 0, ports), vc_e]
+                # Ejection ports never gate; a buffer always admits at
+                # least one packet, even oversized (event-engine parity).
+                elig = is_ej | (used == 0) | (used + size <= B)
+                pos = np.nonzero(elig)[0]
+                first = np.zeros(comb.size, dtype=bool)
+                if pos.size:
+                    seg_id = np.cumsum(seg_first)[pos]
+                    lead = np.empty(pos.size, dtype=bool)
+                    lead[0] = True
+                    np.not_equal(seg_id[1:], seg_id[:-1], out=lead[1:])
+                    first[pos[lead]] = True
+                if not first.any():
+                    # No port can move.  Credits only change when a winner
+                    # departs, so if external work is still due, nothing
+                    # happens until it lands — jump straight there.
+                    nxt_c = []
+                    if inj_ptr < n:
+                        nxt_c.append(int(c0_sorted[inj_ptr]))
+                    if def_heap:
+                        nxt_c.append(def_heap[0])
+                    if ev_ptr < n_ev_f:
+                        nxt_c.append(int(self._ev_cycles[ev_ptr]))
+                    if nxt_c:
+                        c = max(c + 1, min(nxt_c))
+                        continue
+                    self._raise_deadlock(c)
 
             widx = self._w_idx[first]
             waited = c - ((comb[first] >> _ENQ_SHIFT) & _ENQ_MASK)
@@ -459,11 +582,81 @@ class BatchedSimulator:
 
             eject = ports[first] >= n_dir
             moved = widx[~eject]
+            moved_nxt = self._w_nxt[first][~eject]
+            if finite:
+                # Ejecting winners leave the network: release the input
+                # buffer each held (hold-until-departure, the batch mirror
+                # of NetworkSimulator._eject_done's _release_buffer).
+                ej_ids = widx[eject]
+                if ej_ids.size:
+                    self._ejected[ej_ids] = True
+                    held = ej_ids[self._occ_edge[ej_ids] >= 0]
+                    if held.size:
+                        np.subtract.at(
+                            buf,
+                            (self._occ_edge[held], self._occ_vc[held]),
+                            size,
+                        )
+                        self._occ_edge[held] = -1
+                moved_eid = ports[first][~eject]
+                moved_vc = np.minimum(self._hops[moved], n_vcs - 1)
+            extra: np.ndarray | None = None
+            if ch is not None and moved.size:
+                # Evaluate the lossy crossing at the pre-increment hop
+                # index — exactly where NetworkSimulator._port_done draws
+                # it — so both engines consume identical substreams.
+                ok, extra, retr = ch.crossings(
+                    self._ch_keys[moved], self._hops[moved]
+                )
+                rsum = int(retr.sum())
+                if rsum:
+                    stats.n_retransmits += rsum
+                if not ok.all():
+                    # _drop_pkts releases any held buffer; the lost packet
+                    # never occupies the downstream one.
+                    self._drop_pkts(moved[~ok], ch.config.drop_cause)
+                    if finite:
+                        moved_eid = moved_eid[ok]
+                        moved_vc = moved_vc[ok]
+                    moved = moved[ok]
+                    moved_nxt = moved_nxt[ok]
+                    extra = extra[ok]
+            if finite and moved.size:
+                # Credit transfer: release the buffer held upstream, occupy
+                # the one just filled downstream.  One winner per port per
+                # cycle means each (edge, VC) cell gains at most one
+                # packet's bytes per cycle, so the opening-credit check
+                # above can never oversubscribe a buffer.
+                held = moved[self._occ_edge[moved] >= 0]
+                if held.size:
+                    np.subtract.at(
+                        buf, (self._occ_edge[held], self._occ_vc[held]), size
+                    )
+                np.add.at(buf, (moved_eid, moved_vc), size)
+                self._occ_edge[moved] = moved_eid
+                self._occ_vc[moved] = moved_vc
             if moved.size:
-                self._cur[moved] = self._w_nxt[first][~eject]
+                self._cur[moved] = moved_nxt
                 self._hops[moved] += 1
                 n_moves += int(moved.size)
-            pending = moved
+            if extra is not None and moved.size:
+                # Exact channel nanoseconds join the drain-time latency;
+                # arrivals shift by the whole cycles the delay spans.
+                self._ch_delay[moved] += extra
+                shift = (extra // tau).astype(np.int64)
+                near = shift == 0
+                pending = moved[near]
+                far = moved[~near]
+                if far.size:
+                    due_all = c + 1 + shift[~near]
+                    for cv in np.unique(due_all).tolist():
+                        lst = def_arr.get(cv)
+                        if lst is None:
+                            lst = def_arr[cv] = []
+                            heapq.heappush(def_heap, cv)
+                        lst.append(far[due_all == cv])
+            else:
+                pending = moved
 
             # c) survivors keep their (still sorted) order.
             keep = ~first
@@ -738,14 +931,61 @@ class BatchedSimulator:
         return nxt
 
     def _drop_pkts(self, p: np.ndarray, reason: str) -> None:
-        """Account a batch of fault-lost packets, keyed by cause."""
+        """Account a batch of lost packets, keyed by cause.
+
+        With finite buffers the doomed packets release the input buffers
+        they held (the batch mirror of ``NetworkSimulator._drop`` calling
+        ``_release_buffer``) — a leak here would wedge healthy traffic
+        behind credits nobody returns.
+        """
         k = int(len(p))
         if not k:
             return
+        if self._buf_used is not None:
+            held = p[self._occ_edge[p] >= 0]
+            if held.size:
+                np.subtract.at(
+                    self._buf_used,
+                    (self._occ_edge[held], self._occ_vc[held]),
+                    self._size,
+                )
+                self._occ_edge[held] = -1
         self._dropped[p] = True
         st = self.stats
         st.n_dropped += k
         st.drops[reason] = st.drops.get(reason, 0) + k
+
+    def _raise_deadlock(self, c: int) -> None:
+        """The waiting set is wedged with no external work left: raise.
+
+        Mirrors the event engine's drain check — builds the wait-for map
+        from the blocked head packets (held (edge, VC) -> wanted
+        (edge, VC)), extracts one cycle witness, fills the stats with the
+        packets that *did* deliver so the error carries a coherent
+        partial picture, and raises :class:`BufferDeadlockError`.
+        """
+        stats = self.stats
+        ports = self._w_comb >> _PORT_SHIFT
+        waits_for: dict = {}
+        # Every queued packet contributes (buffer-less packets fresh from
+        # their NIC can sit ahead of the chain-forming holders).
+        for pkt, port in zip(self._w_idx.tolist(), ports.tolist()):
+            if self._occ_edge[pkt] >= 0:
+                held = (int(self._occ_edge[pkt]), int(self._occ_vc[pkt]))
+                wanted = (
+                    int(port), int(min(self._hops[pkt], self.n_vcs - 1))
+                )
+                waits_for[held] = wanted
+        cycle = BufferDeadlockError.find_cycle(waits_for)
+        blocked = int(self._w_comb.size)
+        stats.deadlocked = True
+        delivered = self._ejected & ~self._dropped
+        undelivered = (
+            len(self._t0) - int(delivered.sum()) - int(self._dropped.sum())
+        )
+        stats.undelivered = undelivered
+        self._drain(delivered)
+        raise BufferDeadlockError.build(cycle, blocked, undelivered, stats)
 
     def _apply_fault_event(self, ev, c: int = 0) -> np.ndarray:
         """Apply one schedule event: mutate the mask, fix up the waiting set.
@@ -854,7 +1094,7 @@ class BatchedSimulator:
                     else int(sizes[dm].sum())
                 )
 
-    def _drain(self) -> None:
+    def _drain(self, delivered_mask: np.ndarray | None = None) -> None:
         """Assemble per-packet latencies analytically and fill SimStats.
 
         Pipeline per packet: NIC (exact, including injection queueing) +
@@ -865,6 +1105,10 @@ class BatchedSimulator:
         switch delay (see ``NetworkSimulator._port_done``), and this engine
         mirrors that by folding the switch of contested hops into their
         measured wait.
+
+        ``delivered_mask`` restricts the fill to a subset (the deadlock
+        path passes the ejected-and-not-dropped packets); when ``None``
+        it is derived from the drop ledger for fault and lossy runs.
         """
         hops = self._hops
         stages = hops + 1  # inter-router traversals + the ejection port
@@ -876,12 +1120,21 @@ class BatchedSimulator:
             + self._uncontested * self._switch
             + self._wait * S
         )
+        if self._ch_delay is not None:
+            # Exact channel nanoseconds (overhead, jitter, retransmit
+            # round-trips) on top of the analytic pipeline.
+            lat = lat + self._ch_delay
         t_del = self._t0 + lat
         stats = self.stats
-        if self._mask is not None:
-            # Fault mode: dropped packets never delivered; their lat/t_del
-            # entries are meaningless and are excluded here.
-            keep = ~self._dropped
+        if delivered_mask is None and (
+            self._mask is not None
+            or (self._channel is not None and self._dropped.any())
+        ):
+            # Fault/lossy mode: dropped packets never delivered; their
+            # lat/t_del entries are meaningless and are excluded here.
+            delivered_mask = ~self._dropped
+        if delivered_mask is not None:
+            keep = delivered_mask
             lat = lat[keep]
             hops = hops[keep]
             t_del_k = t_del[keep]
@@ -891,7 +1144,8 @@ class BatchedSimulator:
             stats.bytes_delivered = int(len(lat)) * self._size
             if len(t_del_k):
                 stats.t_last_delivery = float(t_del_k.max())
-            self._fill_epochs(self._t0, t_del, keep)
+            if self._mask is not None:
+                self._fill_epochs(self._t0, t_del, keep)
             return
         order = np.argsort(t_del, kind="stable")  # event-engine-ish order
         stats.latencies_ns = lat[order].tolist()
@@ -939,6 +1193,25 @@ class BatchedSimulator:
                 "runs yet",
                 backend="batched",
                 feature=capabilities.FAULTS,
+            )
+        if self._buf_used is not None:
+            # Same story for the congestion features: the closed-loop
+            # frontier runner has no credit/channel machinery — use the
+            # event engine for congested motif studies.
+            raise BackendCapabilityError(
+                "the batched backend does not combine 'finite-buffers' "
+                "with closed-loop motif runs; use backend='event'",
+                backend="batched",
+                feature=capabilities.FINITE_BUFFERS,
+                supported_backends=("event",),
+            )
+        if self._channel is not None:
+            raise BackendCapabilityError(
+                "the batched backend does not combine 'lossy-links' "
+                "with closed-loop motif runs; use backend='event'",
+                backend="batched",
+                feature=capabilities.LOSSY_LINKS,
+                supported_backends=("event",),
             )
         if self.on_delivery is not None:
             capabilities.require("batched", capabilities.DELIVERY_CALLBACKS)

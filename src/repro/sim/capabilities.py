@@ -38,6 +38,7 @@ MOTIFS = "motifs"  # closed-loop dependency-driven motif DAGs
 COLLECTIVES = "collectives"  # chunk-level collective schedules on motif DAGs
 FAULTS = "faults"  # mid-run FaultSchedule (link/router down/up)
 FINITE_BUFFERS = "finite-buffers"  # credit-based blocking buffers
+LOSSY_LINKS = "lossy-links"  # per-link loss/jitter channel (sim.channel)
 PAUSE_RESUME = "pause-resume"  # run(until=...) / max_events bounds
 DELIVERY_CALLBACKS = "delivery-callbacks"  # per-packet on_delivery hooks
 ADHOC_SEND = "adhoc-send"  # caller-driven send() outside the motif runner
@@ -48,6 +49,7 @@ FEATURES: tuple[str, ...] = (
     COLLECTIVES,
     FAULTS,
     FINITE_BUFFERS,
+    LOSSY_LINKS,
     PAUSE_RESUME,
     DELIVERY_CALLBACKS,
     ADHOC_SEND,
@@ -56,13 +58,16 @@ FEATURES: tuple[str, ...] = (
 #: The matrix itself.  The event engine is the reference and supports
 #: everything; the batched engine covers the scenario families the
 #: paper's figures and the workload suite need (open-loop synthetic,
-#: motif workloads, collective schedules, fault schedules) and refuses
-#: the interactive/debugging features whose
-#: semantics are inherently per-event (blocking buffers, pause/resume,
+#: motif workloads, collective schedules, fault schedules, and — since
+#: the congestion-realism PR — credit/backpressure finite buffers and
+#: the lossy-link channel model) and refuses the interactive/debugging
+#: features whose semantics are inherently per-event (pause/resume,
 #: per-packet callbacks, ad-hoc sends).
 CAPABILITIES: dict[str, frozenset[str]] = {
     "event": frozenset(FEATURES),
-    "batched": frozenset({OPEN_LOOP, MOTIFS, COLLECTIVES, FAULTS}),
+    "batched": frozenset(
+        {OPEN_LOOP, MOTIFS, COLLECTIVES, FAULTS, FINITE_BUFFERS, LOSSY_LINKS}
+    ),
 }
 
 assert tuple(CAPABILITIES) == BACKENDS  # keep the two declarations in sync

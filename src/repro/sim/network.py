@@ -44,9 +44,10 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.faults import FaultSchedule
 
-from repro.errors import SimulationError
+from repro.errors import BufferDeadlockError, SimulationError
 from repro.routing.algorithms import RoutingPolicy
 from repro.routing.tables import RoutingTables
+from repro.sim.channel import ChannelConfig, ChannelModel, packet_key
 from repro.sim.packet import Packet
 from repro.sim.stats import SimStats
 from repro.topology.base import Topology
@@ -83,6 +84,12 @@ class SimConfig:
     #: VC genuinely deadlock (see tests/test_sim_deadlock.py).  Default off
     #: = measured-but-unbounded buffers (see module docstring).
     finite_buffers: bool = False
+    #: Optional lossy/jittery link model (``repro.sim.channel``): per-link
+    #: extra latency, jitter, loss probability, and bounded
+    #: retransmit-with-backoff, applied to every router-to-router crossing
+    #: on both engines (feature ``lossy-links``).  ``None`` — the default —
+    #: keeps links ideal and every engine hot path untouched.
+    channel: "ChannelConfig | None" = None
     #: Which simulation engine ``build_synthetic_sim`` constructs:
     #: ``"event"`` (this module's discrete-event simulator, the reference)
     #: or ``"batched"`` (the numpy cycle-driven engine in
@@ -146,6 +153,20 @@ class NetworkSimulator:
         self._nic_queues: list[deque] = [deque() for _ in range(n_ep)]
         self._ej_busy: list[bool] = [False] * n_ep
         self._ej_queues: list[deque] = [deque() for _ in range(n_ep)]
+
+        # Lossy-link channel model (None on the default pristine path).
+        if config.channel is not None:
+            from repro.sim import capabilities
+
+            capabilities.require(
+                "event", capabilities.LOSSY_LINKS, context="NetworkSimulator"
+            )
+            self._channel = ChannelModel(config.channel, config.link_latency_ns)
+            # Per-endpoint injection counters composing the cross-engine
+            # channel keys (see repro.sim.channel.packet_key).
+            self._ch_seq: list[int] = [0] * n_ep
+        else:
+            self._channel = None
 
         self._events: list[tuple] = []
         self._seq = itertools.count()
@@ -248,6 +269,13 @@ class NetworkSimulator:
             next(self._pid), src_ep, dst_ep, size, t,
             dst_ep // self._conc, tag=tag,
         )
+        if self._channel is not None:
+            # Per-source injection index -> cross-engine channel key; the
+            # batched engine derives the identical key from the packet's
+            # position in its source's predrawn schedule.
+            i = self._ch_seq[src_ep]
+            self._ch_seq[src_ep] = i + 1
+            pkt.ch_key = packet_key(src_ep, i)
         stats = self.stats
         stats.n_injected += 1
         if t < stats.t_first_inject:
@@ -274,8 +302,10 @@ class NetworkSimulator:
 
         With ``finite_buffers``, a run that drains its events while packets
         remain undelivered has genuinely *deadlocked* (cyclic buffer
-        dependencies — exactly what Section V-A's VC scheme prevents); the
-        returned stats carry ``deadlocked=True`` in that case.
+        dependencies — exactly what Section V-A's VC scheme prevents):
+        a structured :class:`~repro.errors.BufferDeadlockError` is raised,
+        naming one cyclic (edge, VC) wait-for chain and carrying the
+        partial stats (``deadlocked=True``, ``undelivered`` set).
         """
         # Start each source exactly once, even across paused/resumed runs —
         # re-starting would schedule a duplicate injection chain on top of
@@ -292,16 +322,17 @@ class NetworkSimulator:
             and max_events is None
             and self._buf_used is None
             and self._fault_schedule is None
+            and self._channel is None
         ):
             # Default configuration: the fully inlined hot loop (one Python
             # frame per *run*, not per event).  tests/test_sim_fastpath.py
             # pins it event-for-event equal to the handler path below.
             n_ev = self._run_fast()
         elif until is None and max_events is None:
-            # Finite buffers or an active fault schedule: handler dispatch,
-            # no bound checks.  (Faults need the handler path's fault-aware
-            # branches; a fault-capable fast loop has not landed — see
-            # docs/performance.md.)
+            # Finite buffers, a fault schedule, or a lossy channel: handler
+            # dispatch, no bound checks.  (These need the handler path's
+            # fault-aware/buffer/channel branches; a fault-capable fast
+            # loop has not landed — see docs/performance.md.)
             while events:
                 item = pop(events)
                 t = item[0]
@@ -332,7 +363,42 @@ class NetworkSimulator:
             if undelivered > 0 and self.config.finite_buffers:
                 self.stats.deadlocked = True
                 self.stats.undelivered = undelivered
+                cycle, blocked = self._deadlock_witness()
+                raise BufferDeadlockError.build(
+                    cycle, blocked, undelivered, self.stats
+                )
         return self.stats
+
+    def _deadlock_witness(self) -> tuple[tuple, int]:
+        """One cyclic (edge, VC) wait-for chain among the blocked packets.
+
+        Each blocked packet holds buffer ``(occupies_edge, occupies_vc)``
+        while waiting for credit in ``(eid, vc)`` — the downstream input
+        buffer of the port it is queued on.  Following those held->wanted
+        arrows yields the deadlock cycle (Dally's channel-dependency
+        argument, operationally).  Every queued packet contributes, not
+        just queue heads: a buffer-less packet fresh from its NIC can sit
+        at the head of a port queue with the chain-forming holders behind
+        it.  Returns ``(cycle, n_blocked)``; the cycle is empty when no
+        clean witness exists (e.g. after mid-run faults perturbed the
+        queues).
+        """
+        waits_for: dict = {}
+        blocked = 0
+        for eid, n_q in enumerate(self._port_queued):
+            if not n_q:
+                continue
+            blocked += n_q
+            qs = self._port_queues[eid]
+            if qs is None:
+                continue
+            for vc, q in enumerate(qs):
+                for pkt, _nxt in q:
+                    if pkt.occupies_edge >= 0:
+                        waits_for[
+                            (pkt.occupies_edge, pkt.occupies_vc)
+                        ] = (eid, vc)
+        return BufferDeadlockError.find_cycle(waits_for), blocked
 
     # -- internals ----------------------------------------------------------
     def _run_fast(self) -> int:
@@ -343,10 +409,10 @@ class NetworkSimulator:
         tests/test_sim_fastpath.py) but saves one Python frame per event,
         which is worth ~10% of total runtime.  Only valid for the default
         configuration: no ``until``/``max_events`` bound, unbounded
-        buffers (``_buf_used is None``), and no fault schedule — the
-        finite-buffer and fault-aware branches of the handlers are
-        omitted here (see docs/performance.md, "When _run_fast is
-        bypassed").
+        buffers (``_buf_used is None``), no fault schedule, and no lossy
+        channel — the finite-buffer, fault-aware, and channel branches of
+        the handlers are omitted here (see docs/performance.md, "When
+        _run_fast is bypassed").
         """
         events = self._events
         pop = heapq.heappop
@@ -655,6 +721,27 @@ class NetworkSimulator:
                 # transmission finished and traffic queued behind it.
                 self._try_start(eid, t)
             return
+        ch = self._channel
+        extra_ns = 0.0
+        if ch is not None:
+            # Lossy/jittery crossing: one channel evaluation per
+            # router-to-router link traversal, keyed on (packet, hop) so
+            # the batched engine reaches the identical outcome.
+            ok, extra_ns, retrans = ch.crossing(pkt.ch_key, pkt.hops)
+            if retrans:
+                self.stats.n_retransmits += retrans
+            if not ok:
+                self._port_busy[eid] = False
+                if self._buf_used is not None:
+                    # Release both the buffer held at the previous router
+                    # and the downstream reservation taken at transmission
+                    # start (never transferred to the packet).
+                    self._release_buffer(pkt, t)
+                    self._buf_used[eid, item[6]] -= pkt.size
+                self._drop(pkt, t, ch.config.drop_cause)
+                if self._port_queued[eid]:
+                    self._try_start(eid, t)
+                return
         pkt.hops += 1
         # The packet has fully left the previous router: release the input
         # buffer it was holding there and occupy the one it just filled.
@@ -662,8 +749,9 @@ class NetworkSimulator:
             self._release_buffer(pkt, t)
             pkt.occupies_edge = eid
             pkt.occupies_vc = item[6]
-        heappush(self._events, (t + self._link_ns, next(self._seq), _ARRIVE,
-                                item[5], pkt, False))
+        heappush(self._events,
+                 (t + self._link_ns + extra_ns, next(self._seq), _ARRIVE,
+                  item[5], pkt, False))
         self._port_busy[eid] = False
         if self._port_queued[eid]:
             self._try_start(eid, t)

@@ -41,6 +41,7 @@ class Packet:
         "tag",
         "occupies_edge",
         "occupies_vc",
+        "ch_key",
     )
 
     def __init__(
@@ -67,6 +68,10 @@ class Packet:
         # packet currently holds (-1 = none, e.g. fresh from the NIC).
         self.occupies_edge = -1
         self.occupies_vc = 0
+        # Lossy-link mode: the cross-engine channel substream key
+        # (``repro.sim.channel.packet_key``); -1 when no channel is
+        # attached.
+        self.ch_key = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -33,6 +33,12 @@ class SimStats:
     #: outgoing link).
     n_dropped: int = 0
     drops: dict = field(default_factory=dict)
+    #: Link-level retransmissions performed by the channel model
+    #: (``repro.sim.channel``): failed attempts that were retried.  A
+    #: packet that exhausts ``max_attempts`` is additionally counted in
+    #: :attr:`drops` under ``retransmit-exhausted`` (or ``channel-loss``
+    #: when retransmit is off).
+    n_retransmits: int = 0
     #: Packets pulled out of a failed port's queues and re-routed.
     n_requeued: int = 0
     #: Hops taken through the non-minimal fallback (minimal set severed).
@@ -111,17 +117,36 @@ class SimStats:
         messages' plus mean/median/p99 latency and delivered throughput."""
         lat = np.asarray(self.latencies_ns, dtype=np.float64)
         if len(lat) == 0:
-            # Keep the fault-accounting keys present even when nothing was
-            # delivered (a total-loss cell must produce a row, not a
-            # KeyError, in the resilience-traffic drivers).
+            # A total-loss cell (every packet killed by faults, channel
+            # loss, or retransmit exhaustion) must still produce a
+            # *complete* row — every key of the delivered branch, latency
+            # aggregates as NaN — plus the per-cause drop itemization, so
+            # downstream drivers and tables never KeyError on it.  The
+            # delivered branch below is deliberately left byte-identical
+            # (the golden corpus pins motif summaries key-for-key).
+            nan = float("nan")
             return {
-                "delivered": 0,
                 "deadlocked": self.deadlocked,
                 "undelivered": self.undelivered,
+                "delivered": 0,
+                "max_latency_ns": nan,
+                "mean_latency_ns": nan,
+                "p50_latency_ns": nan,
+                "p99_latency_ns": nan,
+                "mean_hops": nan,
+                "makespan_ns": nan,
+                "throughput_gbps": 0.0,
+                "max_queue_bytes": int(self.max_queue_bytes),
+                "valiant_fraction": (
+                    self.valiant_choices
+                    / max(1, self.valiant_choices + self.minimal_choices)
+                ),
                 "dropped": self.n_dropped,
                 "requeued": self.n_requeued,
                 "delivered_fraction": 0.0,
                 "nonminimal_hops": self.nonminimal_hops,
+                "drops": dict(self.drops),
+                "retransmits": self.n_retransmits,
             }
         makespan = self.t_last_delivery - self.t_first_inject
         return {

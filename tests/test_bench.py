@@ -3,7 +3,7 @@
 Timing *numbers* are machine noise and are never asserted; what is pinned
 here is the machinery: cells run the work they claim (delivered counts,
 backends, workload labels), the scenario cells (motif, collective,
-faulted) exist per backend, the summaries aggregate what they say they
+faulted, congested) exist per backend, the summaries aggregate what they say they
 aggregate, and
 ``compare_to_committed`` flags exactly the regressions it documents —
 including the new per-scenario speedups.
@@ -22,6 +22,7 @@ from repro.runner.bench import (
     run_bench,
     run_cell,
     run_collective_cell,
+    run_congested_cell,
     run_faulted_cell,
     run_motif_cell,
     run_scenarios,
@@ -49,6 +50,10 @@ _TINY = {
         "collective": {"topology": "SpectralFly", "routing": "minimal",
                        "collective": "allreduce", "algorithm": "ring",
                        "n_ranks": 8, "total_bytes": 1 << 10},
+        "congested": {"topology": "SpectralFly", "routing": "minimal",
+                      "pattern": "random", "load": 0.5, "n_ranks": 16,
+                      "packets_per_rank": 3, "buffer_packets": 1,
+                      "loss_prob": 0.05, "max_attempts": 2},
     },
 }
 
@@ -114,6 +119,24 @@ class TestCells:
         # Identical schedule DAG on both engines.
         assert rows["event"]["messages"] == rows["batched"]["messages"]
 
+    def test_run_congested_cell_per_backend(self, topo):
+        rows = {
+            be: run_congested_cell(
+                topo, "minimal", "random", 0.5, concentration=4, n_ranks=16,
+                packets_per_rank=3, buffer_packets=1, loss_prob=0.3,
+                max_attempts=1, backend=be,
+            )
+            for be in ("event", "batched")
+        }
+        for be, row in rows.items():
+            assert row["workload"] == "congested:b1-p0.3"
+            assert row["backend"] == be
+            assert row["delivered"] > 0
+            assert row["delivered"] + row["dropped"] > row["delivered"]
+        # Counter-hash channel: identical drop accounting on both engines.
+        assert rows["event"]["dropped"] == rows["batched"]["dropped"] > 0
+        assert rows["event"]["delivered"] == rows["batched"]["delivered"]
+
     def test_make_motif_kinds(self):
         for kind in ("fft-balanced", "fft-unbalanced", "halo3d", "sweep3d"):
             m = bench._make_motif(kind, 16)
@@ -124,10 +147,10 @@ class TestScenarios:
     def test_run_scenarios_covers_workloads_and_backends(self, tiny_preset):
         rows = run_scenarios(tiny_preset)
         assert {r["workload"].split(":")[0] for r in rows} == {
-            "motif", "faulted", "collective"
+            "motif", "faulted", "collective", "congested"
         }
         assert {r["backend"] for r in rows} == {"event", "batched"}
-        assert len(rows) == 6
+        assert len(rows) == 8
 
     def test_run_scenarios_empty_without_section(self, monkeypatch):
         monkeypatch.setitem(
@@ -169,7 +192,7 @@ class TestRunBench:
             ss = payload["summary_scenarios"]
             assert set(ss) == {
                 "motif_speedup_vs_event", "faulted_speedup_vs_event",
-                "collective_speedup_vs_event",
+                "collective_speedup_vs_event", "congested_speedup_vs_event",
             }
 
     def test_unknown_preset_rejected(self):

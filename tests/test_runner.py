@@ -142,7 +142,7 @@ def test_backend_overrides_validate_at_spec_time():
 
     # Simulation experiments accept both engines...
     for name in ("fig6", "fig7", "fig8", "fig9", "fig10", "saturation",
-                 "resilience-traffic"):
+                 "resilience-traffic", "saturation-congestion"):
         exp = get_experiment(name)
         for backend in exp.supported_backends:
             assert exp.params("small", {"backend": backend})[

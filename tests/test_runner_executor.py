@@ -54,6 +54,42 @@ _OK = ExperimentDef(
 )
 
 
+def _deadlocking_cell(families=("ring",)):  # noqa: ARG001 (cell-axis shape)
+    """A driver that genuinely deadlocks: C8 ring, one VC, 1-packet buffers.
+
+    Offset-3 minimal traffic on a single-VC ring wedges solid (the
+    Section V-A scenario, see ``tests/test_sim_deadlock.py``); the run
+    raises :class:`BufferDeadlockError` instead of returning a result.
+    """
+    from repro.graphs.generators import cycle_graph
+    from repro.routing import RoutingTables, make_routing
+    from repro.sim import NetworkSimulator, SimConfig
+    from repro.topology.base import Topology
+
+    topo = Topology(name="ring8", family="test", graph=cycle_graph(8))
+    tables = RoutingTables(topo.graph)
+    routing = make_routing("minimal", tables, seed=0)
+    routing.required_vcs = lambda: 1
+    cfg = SimConfig(concentration=1, finite_buffers=True,
+                    buffer_bytes=4096, packet_bytes=4096)
+    net = NetworkSimulator(topo, routing, cfg, tables=tables)
+    for src in range(8):
+        for _ in range(6):
+            net.send(src, (src + 3) % 8)
+    return net.run()
+
+
+#: Resolvable in-process only (jobs=1): the tests directory is on
+#: ``sys.path`` under pytest's default import mode.
+_DEADLOCK = ExperimentDef(
+    name="deadlock-sweep",
+    title="congested sweep whose only cell genuinely deadlocks",
+    fn="test_runner_executor:_deadlocking_cell",
+    presets={"small": {"families": ("ring",)}},
+    cell_axes=("families",),
+)
+
+
 @pytest.fixture()
 def cache(tmp_path):
     return DiskCache(tmp_path / "cache", enabled=True)
@@ -98,6 +134,27 @@ def test_surviving_cells_stay_cached_after_failure(cache):
     # cached: running the healthy subset is a pure cache hit.
     reports = run_experiment(_OK, preset="small", jobs=1, cache=cache)
     assert reports[0].n_cached_cells == reports[0].n_cells
+
+
+def test_buffer_deadlock_surfaces_as_cell_error_and_is_not_cached(cache):
+    # A finite-buffer deadlock inside a cell is a *diagnosis*, not a
+    # result: it must surface as CellExecutionError with the structured
+    # BufferDeadlockError (witness cycle included) chained underneath,
+    # and nothing may reach the disk cache — a poisoned entry would
+    # replay the deadlock's partial stats as a legitimate result forever.
+    from repro.errors import BufferDeadlockError
+    from repro.runner.executor import _result_key
+
+    with pytest.raises(CellExecutionError) as exc_info:
+        run_experiment(_DEADLOCK, preset="small", jobs=1, cache=cache)
+    err = exc_info.value
+    assert isinstance(err.__cause__, BufferDeadlockError)
+    assert err.__cause__.cycle  # the (edge, VC) witness travels along
+    assert "finite-buffer deadlock" in str(err)
+    assert cache.get(_result_key(err.spec)) is None
+    # Retrying really deadlocks again — no stale entry was served.
+    with pytest.raises(CellExecutionError):
+        run_experiment(_DEADLOCK, preset="small", jobs=1, cache=cache)
 
 
 def test_pool_failure_returns_promptly_and_cleans_up(cache):

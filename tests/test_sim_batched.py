@@ -147,14 +147,27 @@ class TestUnsupportedFeaturesFailLoudly:
         with pytest.raises(SimulationError, match="already attached"):
             net2.set_fault_schedule(FaultSchedule([]))
 
-    def test_finite_buffers_rejected(self, parts):
+    def test_congestion_features_rejected_for_closed_loop(self, parts):
+        # Finite buffers and lossy links are open-loop features on this
+        # engine; combining either with the closed-loop motif runner must
+        # refuse with the canonical error, not wedge or silently ignore.
+        from repro.sim import ChannelConfig
+
         topo, tables, routing = self._policy(parts)
-        with pytest.raises(SimulationError, match="finite"):
-            BatchedSimulator(
-                topo, routing,
-                SimConfig(concentration=2, finite_buffers=True),
-                tables=tables,
-            )
+        net = BatchedSimulator(
+            topo, routing,
+            SimConfig(concentration=2, finite_buffers=True),
+            tables=tables,
+        )
+        with pytest.raises(SimulationError, match="finite-buffers"):
+            net.run_closed_loop([], np.arange(4, dtype=np.int64))
+        net = BatchedSimulator(
+            topo, routing,
+            SimConfig(concentration=2, channel=ChannelConfig(loss_prob=0.1)),
+            tables=tables,
+        )
+        with pytest.raises(SimulationError, match="lossy-links"):
+            net.run_closed_loop([], np.arange(4, dtype=np.int64))
 
     def test_send_and_pause_rejected(self, parts):
         topo, tables, routing = self._policy(parts)

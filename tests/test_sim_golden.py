@@ -32,7 +32,7 @@ import pytest
 
 from repro.experiments.common import build_synthetic_sim, cached_tables
 from repro.routing import make_routing
-from repro.sim import SimConfig
+from repro.sim import ChannelConfig, SimConfig
 from repro.sim.faults import FaultSchedule
 from repro.topology import SIM_CONFIGS
 from repro.workloads import (
@@ -117,6 +117,20 @@ COLLECTIVE_CELLS = [
 ]
 COLLECTIVE_BYTES = 1 << 13
 
+#: Congestion corpus cells (schema 4):
+#: (family, routing, buffer_packets, loss_prob, max_attempts, seed).
+#: ``buffer_packets=0`` means unbounded buffers, ``loss_prob=0.0`` means no
+#: channel — so the list covers finite-only, lossy-only, and the stacked
+#: finite+lossy paths the congestion work added to the event engine.  Drop
+#: and retransmit ledgers are pinned alongside the usual per-packet fields.
+CONGESTION_CELLS = [
+    ("SpectralFly", "minimal", 2, 0.0, 1, 7),
+    ("DragonFly", "ugal", 1, 0.0, 1, 7),
+    ("SlimFly", "minimal", 0, 0.08, 1, 7),
+    ("BundleFly", "minimal", 0, 0.05, 3, 7),
+    ("SpectralFly", "valiant", 2, 0.04, 2, 7),
+]
+
 
 def make_motif(kind: str, n_ranks: int):
     """The corpus motif instances (small and fixed, like the cells)."""
@@ -150,6 +164,11 @@ def fault_cell_id(cell) -> str:
 def collective_cell_id(cell) -> str:
     family, routing, coll, algo, p, seed = cell
     return f"{family}-{routing}-{coll}-{algo}-p{p}-s{seed}"
+
+
+def congestion_cell_id(cell) -> str:
+    family, routing, bufp, loss, attempts, seed = cell
+    return f"{family}-{routing}-b{bufp}-p{loss}-a{attempts}-s{seed}"
 
 
 def collect_cell(cell) -> dict:
@@ -246,6 +265,40 @@ def collect_collective_cell(cell) -> dict:
     )
 
 
+def collect_congestion_cell(cell) -> dict:
+    """Run one congested open-loop cell on the event engine; pin SimStats.
+
+    On top of :data:`FIELDS` this pins the congestion-specific ledgers:
+    drops itemized by cause and the retransmit counter — the exact
+    accounting the batched engine must reproduce.
+    """
+    family, routing, bufp, loss, attempts, seed = cell
+    spec = SIM_CONFIGS["small"]["topologies"][family]
+    channel = None
+    if loss > 0.0:
+        channel = ChannelConfig(
+            loss_prob=loss, jitter_ns=12.0, extra_latency_ns=3.0,
+            max_attempts=attempts, backoff_ns=30.0, seed=seed,
+        )
+    cfg = SimConfig(
+        concentration=spec["concentration"],
+        finite_buffers=bufp > 0,
+        buffer_bytes=max(bufp, 1) * 4096,
+        channel=channel,
+    )
+    net = build_synthetic_sim(
+        spec["build"](), routing, "random", 0.5,
+        concentration=spec["concentration"], n_ranks=N_RANKS,
+        packets_per_rank=PACKETS_PER_RANK, seed=seed,
+        config=cfg, backend="event",
+    )
+    stats = net.run()
+    out = {field: getattr(stats, field) for field in FIELDS}
+    out["drops"] = dict(stats.drops)
+    out["n_retransmits"] = stats.n_retransmits
+    return out
+
+
 @pytest.fixture(scope="module")
 def golden():
     assert GOLDEN_PATH.exists(), (
@@ -267,7 +320,10 @@ class TestGoldenCorpus:
         assert list(golden["collective_cells"]) == [
             collective_cell_id(c) for c in COLLECTIVE_CELLS
         ]
-        assert golden["schema"] == 3
+        assert list(golden["congestion_cells"]) == [
+            congestion_cell_id(c) for c in CONGESTION_CELLS
+        ]
+        assert golden["schema"] == 4
         assert golden["n_ranks"] == N_RANKS
         assert golden["packets_per_rank"] == PACKETS_PER_RANK
 
@@ -322,6 +378,30 @@ class TestGoldenCorpus:
                 "regenerate with scripts/make_golden_sim.py and say so in "
                 "the commit"
             )
+
+    @pytest.mark.parametrize("cell", CONGESTION_CELLS, ids=congestion_cell_id)
+    def test_event_congested_bit_for_bit(self, golden, cell):
+        expected = golden["congestion_cells"][congestion_cell_id(cell)]
+        actual = collect_congestion_cell(cell)
+        assert set(actual) == set(expected)
+        for key in expected:
+            assert actual[key] == expected[key], (
+                f"congested SimStats {key!r} drifted in "
+                f"{congestion_cell_id(cell)} — the finite-buffer/lossy "
+                "event path is the batched engine's oracle; if the change "
+                "is intentional, regenerate with scripts/make_golden_sim.py "
+                "and say so in the commit"
+            )
+
+    def test_congestion_cells_actually_exercise_the_features(self, golden):
+        # A congestion corpus where the channel never drops, never
+        # retransmits, or the buffers never matter pins nothing.
+        cells = golden["congestion_cells"].values()
+        assert any(c["n_dropped"] > 0 for c in cells)
+        assert any(c["n_retransmits"] > 0 for c in cells)
+        for c in cells:
+            assert sum(c["drops"].values()) == c["n_dropped"]
+            assert len(c["latencies_ns"]) + c["n_dropped"] == c["n_injected"]
 
     def test_collective_cells_pin_per_chunk_times(self, golden):
         # Every collective cell carries one completion instant per chunk,
