@@ -28,6 +28,7 @@ from test_sim_golden import (  # noqa: E402
     GOLDEN_PATH,
     MOTIF_CELLS,
     N_RANKS,
+    ORACLE_CELLS,
     PACKETS_PER_RANK,
     cell_id,
     collect_cell,
@@ -35,16 +36,18 @@ from test_sim_golden import (  # noqa: E402
     collect_congestion_cell,
     collect_fault_cell,
     collect_motif_cell,
+    collect_oracle_cell,
     collective_cell_id,
     congestion_cell_id,
     fault_cell_id,
     motif_cell_id,
+    oracle_cell_id,
 )
 
 
 def main() -> int:
     corpus = {
-        "schema": 4,
+        "schema": 5,
         "kind": "repro-sim-golden",
         "backend": "event",
         "n_ranks": N_RANKS,
@@ -54,6 +57,7 @@ def main() -> int:
         "fault_cells": {},
         "collective_cells": {},
         "congestion_cells": {},
+        "oracle_cells": {},
     }
     for cell in CELLS:
         name = cell_id(cell)
@@ -75,6 +79,10 @@ def main() -> int:
         name = congestion_cell_id(cell)
         print(f"  congested {name}...")
         corpus["congestion_cells"][name] = collect_congestion_cell(cell)
+    for cell in ORACLE_CELLS:
+        name = oracle_cell_id(cell)
+        print(f"  oracle {name}...")
+        corpus["oracle_cells"][name] = collect_oracle_cell(cell)
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(corpus, indent=1) + "\n")
     n_lat = sum(len(c["latencies_ns"]) for c in corpus["cells"].values())
@@ -83,7 +91,8 @@ def main() -> int:
         f"packets, {len(MOTIF_CELLS)} motif cells, "
         f"{len(FAULT_CELLS)} faulted cells, "
         f"{len(COLLECTIVE_CELLS)} collective cells, "
-        f"{len(CONGESTION_CELLS)} congested cells)"
+        f"{len(CONGESTION_CELLS)} congested cells, "
+        f"{len(ORACLE_CELLS)} oracle cells)"
     )
     return 0
 

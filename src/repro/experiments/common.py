@@ -75,10 +75,21 @@ def cached_size_class(class_id: int) -> dict[str, Topology]:
     )
 
 
-def cached_tables(topo: Topology) -> RoutingTables:
+def cached_tables(topo: Topology, oracle: str | None = None) -> RoutingTables:
     # RoutingTables itself disk-caches its distance matrix (the expensive
     # part) keyed by the graph hash, so the in-process tier suffices here.
-    return cached(("tables", topo.name), lambda: RoutingTables(topo.graph))
+    # ``oracle`` selects an on-demand distance oracle instead of the dense
+    # matrix ("auto"/"cayley"/"landmark"/"dense"; see repro.routing.oracles)
+    # — the only way to route on topologies too large to materialise O(n^2).
+    if oracle is None:
+        return cached(("tables", topo.name), lambda: RoutingTables(topo.graph))
+
+    def _build() -> RoutingTables:
+        from repro.routing.oracles import oracle_for
+
+        return RoutingTables(topo.graph, oracle=oracle_for(topo, kind=oracle))
+
+    return cached(("tables", topo.name, oracle), _build)
 
 
 # ---------------------------------------------------------------------------
@@ -118,6 +129,7 @@ def build_synthetic_sim(
     config: SimConfig | None = None,
     faults=None,
     backend: str | None = None,
+    oracle: str | None = None,
 ) -> NetworkSimulator | BatchedSimulator:
     """Assemble (but do not run) one open-loop synthetic-traffic simulation.
 
@@ -128,10 +140,13 @@ def build_synthetic_sim(
     ``resilience-traffic`` experiments).
 
     ``backend`` selects the engine: ``"event"`` (the discrete-event
-    reference) or ``"batched"`` (the numpy cycle-driven engine, see
-    docs/performance.md); ``None`` defers to ``config.backend``.  Both
-    engines run fault schedules; the backend/feature contract lives in
-    the capability matrix (:mod:`repro.sim.capabilities`).
+    reference), ``"batched"`` (the numpy cycle-driven engine, see
+    docs/performance.md), or ``"sharded"`` (the process-sharded batched
+    loop for open-loop runs at scale, see docs/scaling.md); ``None``
+    defers to ``config.backend``.  The backend/feature contract lives in
+    the capability matrix (:mod:`repro.sim.capabilities`).  ``oracle``
+    selects an on-demand routing oracle instead of the dense distance
+    matrix (see :func:`cached_tables`).
     """
     cfg = config or SimConfig(concentration=concentration)
     if config is None:
@@ -144,9 +159,13 @@ def build_synthetic_sim(
         capabilities.require(backend, capabilities.FINITE_BUFFERS)
     if cfg.channel is not None:
         capabilities.require(backend, capabilities.LOSSY_LINKS)
-    tables = cached_tables(topo)
+    tables = cached_tables(topo, oracle=oracle)
     routing = make_routing(routing_name, tables, seed=seed)
-    if backend == "batched":
+    if backend == "sharded":
+        from repro.sim import ShardedSimulator
+
+        net = ShardedSimulator(topo, routing, cfg, tables=tables, faults=faults)
+    elif backend == "batched":
         net = BatchedSimulator(topo, routing, cfg, tables=tables, faults=faults)
     else:
         net = NetworkSimulator(topo, routing, cfg, tables=tables, faults=faults)

@@ -51,14 +51,27 @@ class RoutingPolicy:
         self.tables = tables
         self.rng = as_rng(seed)
         self._n = tables.n
-        self._nh_indptr, self._nh_indices = tables.next_hop_table()
-        self._dist_flat = tables.dist_flat
         self._rand_buf: list[float] = []
         self._rand_pos = 0
-        if type(self._nh_indices) is list:
-            # List-backed tables hold Python ints already; shadow the
-            # method with the variant that skips the int() wraps.
-            self._random_minimal = self._random_minimal_list
+        if tables.is_lazy:
+            # Oracle-backed tables: no flat n*n arrays exist.  Shadow the
+            # per-hop entry points with oracle variants that draw the RNG
+            # identically (single-candidate hops skip the draw, ties take
+            # one block draw) so lazy runs are bit-identical to dense runs.
+            self._oracle = tables.oracle
+            self._nh_indptr = None
+            self._nh_indices = None
+            self._dist_flat = None
+            self._random_minimal = self._random_minimal_oracle
+            self.next_hop = self._next_hop_oracle
+        else:
+            self._oracle = None
+            self._nh_indptr, self._nh_indices = tables.next_hop_table()
+            self._dist_flat = tables.dist_flat
+            if type(self._nh_indices) is list:
+                # List-backed tables hold Python ints already; shadow the
+                # method with the variant that skips the int() wraps.
+                self._random_minimal = self._random_minimal_list
 
     def required_vcs(self) -> int:
         """Virtual channels needed for deadlock freedom (Section V-A)."""
@@ -118,6 +131,39 @@ class RoutingPolicy:
             pos = 0
         self._rand_pos = pos + 1
         return self._nh_indices[lo + int(buf[pos] * width)]
+
+    def _random_minimal_oracle(self, router: int, dst: int) -> int:
+        """`_random_minimal` against the on-demand oracle (lazy tables).
+
+        Same draw discipline as the flat-table variants: no draw when the
+        candidate set is a singleton, one block draw otherwise — the RNG
+        stream (and hence the whole run) matches the dense path bit for
+        bit because the oracle's candidate order and widths do.
+        """
+        cands = self._oracle.min_next_hops(router, dst)
+        width = len(cands)
+        if width == 1:
+            return int(cands[0])
+        if width <= 0:
+            raise ValueError(f"no minimal next hop from {router} to {dst}")
+        return int(cands[int(self._rand01() * width)])
+
+    def _next_hop_oracle(self, net, router: int, pkt) -> int:  # noqa: ARG002
+        """Generic two-phase forwarding for oracle-backed tables.
+
+        Bound onto ``self.next_hop`` in lazy mode; handles the Valiant
+        waypoint exactly like the inlined subclass implementations (a
+        minimal packet simply never has an intermediate).
+        """
+        if pkt.intermediate is not None and pkt.phase == 0:
+            if router != pkt.intermediate:
+                dst = pkt.intermediate
+            else:
+                pkt.phase = 1
+                dst = pkt.dst_router
+        else:
+            dst = pkt.dst_router
+        return self._random_minimal_oracle(router, dst)
 
     def _random_router(self) -> int:
         """Uniform random router id (Valiant intermediate draws)."""
@@ -283,10 +329,19 @@ class UGALRouting(RoutingPolicy):
         val_hop = self._random_minimal(router, inter)
         n = self._n
         dist = self._dist_flat
-        # int() matters on numpy-backed tables (large topologies): int16
-        # scalars would overflow/wrap in the byte-weighted cost products.
-        h_min = int(dist[router * n + dst])
-        h_val = int(dist[router * n + inter]) + int(dist[inter * n + dst])
+        if dist is None:
+            # Oracle-backed tables: three on-demand distances (no draws).
+            h = self._oracle.distance_batch(
+                [router, router, inter], [dst, inter, dst]
+            )
+            h_min = int(h[0])
+            h_val = int(h[1]) + int(h[2])
+        else:
+            # int() matters on numpy-backed tables (large topologies):
+            # int16 scalars would overflow/wrap in the byte-weighted cost
+            # products.
+            h_min = int(dist[router * n + dst])
+            h_val = int(dist[router * n + inter]) + int(dist[inter * n + dst])
         try:
             # Direct reads of the simulator's port state (same package);
             # stubs without these internals fall back to the public method.

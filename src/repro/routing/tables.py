@@ -25,6 +25,20 @@ Two query paths coexist:
   than numpy's; past :data:`LIST_CELLS_MAX` cells they stay numpy arrays to
   bound memory.
 
+Everything O(n^2) is **lazy** behind a pluggable oracle seam
+(:mod:`repro.routing.oracles`): construction costs one connectivity BFS and
+the O(E) port structures, so callers that only need
+:meth:`port_of`/:meth:`directed_edge_id` never pay for (or allocate) the
+matrix.  In the default *dense* mode the matrix materialises transparently
+on first use of :attr:`dist`/:meth:`next_hop_table` — bit-identical
+behaviour to the eager implementation.  Passing a non-dense oracle
+(``CayleyOracle``/``LandmarkOracle`` via
+:func:`repro.routing.oracles.oracle_for`) makes the tables answer
+``distance``/``min_next_hops``/``diameter`` on demand in ``O(k*n)`` memory;
+touching :attr:`dist` or the flat table then raises rather than silently
+allocating ``O(n^2)`` — that is the contract the 1e5-router scale cells
+rely on (see docs/scaling.md).
+
 The ``n x n`` matrix and the next-hop table are the most expensive
 intermediates the simulations share, so both are transparently memoised in
 the content-addressed disk cache (:mod:`repro.utils.diskcache`) keyed by the
@@ -37,7 +51,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graphs.bfs import distance_matrix
+from repro.graphs.bfs import UNREACHED, bfs_distances, distance_matrix
 from repro.graphs.csr import CSRGraph
 from repro.utils.diskcache import get_default_cache
 
@@ -52,29 +66,27 @@ LIST_CELLS_MAX = 1 << 21
 class RoutingTables:
     """Hop-distance oracle (+ flat fast-path tables) for one router graph."""
 
-    def __init__(self, graph: CSRGraph, use_cache: bool = True) -> None:
+    def __init__(
+        self, graph: CSRGraph, use_cache: bool = True, oracle=None
+    ) -> None:
         self.graph = graph
         self.n = graph.n
         self._use_cache = use_cache
-        if use_cache:
-            key = ("distance-matrix", graph.content_hash())
-            self.dist = get_default_cache().memoize(
-                key, lambda: distance_matrix(graph).astype(np.int16)
-            )
-        else:
-            self.dist = distance_matrix(graph).astype(np.int16)
-        if np.any(self.dist < 0):
+        # One O(E) single-source BFS keeps the historical contract that a
+        # disconnected graph is rejected at construction time — without
+        # materialising anything O(n^2).
+        if self.n and int(bfs_distances(graph, 0).max()) >= UNREACHED:
             raise ValueError("router graph is disconnected")
-        self.diameter = int(self.dist.max())
-
-        #: O(1) directed-edge lookup: ``edge_index[u * n + v]`` is the CSR
-        #: position of the directed edge u -> v.  The simulator's event loop
-        #: reads this dict directly.
-        heads = np.repeat(
-            np.arange(self.n, dtype=np.int64), np.diff(graph.indptr)
-        )
-        keys = (heads * self.n + graph.indices).tolist()
-        self.edge_index: dict[int, int] = dict(zip(keys, range(len(keys))))
+        #: The pluggable distance oracle.  ``None`` means dense mode with
+        #: on-demand materialisation; a ``DenseOracle`` supplies its matrix
+        #: eagerly; any other oracle makes the tables fully lazy.
+        self._oracle = oracle
+        self._dist: np.ndarray | None = None
+        self._diameter: int | None = None
+        if oracle is not None and oracle.kind == "dense":
+            self._dist = oracle.dist
+            self._diameter = oracle.diameter
+        self._edge_index: dict[int, int] | None = None
         self._indptr_list: list[int] = graph.indptr.tolist()
 
         # Flat next-hop table; built lazily (only simulations need it).
@@ -86,9 +98,74 @@ class RoutingTables:
         #: :meth:`build_fast_path`.
         self.dist_flat = None
 
+    # -- oracle seam ---------------------------------------------------------
+    @property
+    def is_lazy(self) -> bool:
+        """True when a non-dense oracle answers queries (no n x n allowed)."""
+        return self._oracle is not None and self._oracle.kind != "dense"
+
+    @property
+    def oracle(self):
+        """The distance oracle (a ``DenseOracle`` is built on demand)."""
+        if self._oracle is None:
+            from repro.routing.oracles import DenseOracle
+
+            self._oracle = DenseOracle(self.graph, dist=self.dist)
+        return self._oracle
+
+    def _lazy_error(self, what: str) -> RuntimeError:
+        return RuntimeError(
+            f"tables are oracle-backed ({self._oracle.kind}); {what} would "
+            "materialise O(n^2) state — use the oracle query API instead "
+            "(distance/min_next_hops/diameter)"
+        )
+
+    @property
+    def dist(self) -> np.ndarray:
+        """The dense matrix (materialised on first use in dense mode)."""
+        if self._dist is None:
+            if self.is_lazy:
+                raise self._lazy_error("the dense distance matrix")
+            if self._use_cache:
+                key = ("distance-matrix", self.graph.content_hash())
+                self._dist = get_default_cache().memoize(
+                    key, lambda: distance_matrix(self.graph).astype(np.int16)
+                )
+            else:
+                self._dist = distance_matrix(self.graph).astype(np.int16)
+            if np.any(self._dist < 0):
+                raise ValueError("router graph is disconnected")
+        return self._dist
+
+    @property
+    def diameter(self) -> int:
+        """Graph diameter (from the oracle in lazy mode)."""
+        if self._diameter is None:
+            if self.is_lazy:
+                self._diameter = int(self._oracle.diameter)
+            else:
+                self._diameter = int(self.dist.max())
+        return self._diameter
+
+    @property
+    def edge_index(self) -> dict[int, int]:
+        """O(1) directed-edge lookup: ``edge_index[u * n + v]`` is the CSR
+        position of the directed edge u -> v.  The simulator's event loop
+        reads this dict directly.  Built on first use (O(E))."""
+        if self._edge_index is None:
+            g = self.graph
+            heads = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(g.indptr)
+            )
+            keys = (heads * self.n + g.indices).tolist()
+            self._edge_index = dict(zip(keys, range(len(keys))))
+        return self._edge_index
+
     # -- reference queries ---------------------------------------------------
     def distance(self, u: int, d: int) -> int:
         """Hop distance from router u to router d."""
+        if self.is_lazy:
+            return self._oracle.distance(u, d)
         return int(self.dist[u, d])
 
     def min_next_hops(self, u: int, d: int) -> np.ndarray:
@@ -96,8 +173,11 @@ class RoutingTables:
 
         Reference implementation (numpy slice over the CSR row); the
         simulator hot path reads the flat table from
-        :meth:`next_hop_table` instead.
+        :meth:`next_hop_table` instead.  In lazy mode the oracle answers
+        bit-identically (same sorted candidate order).
         """
+        if self.is_lazy:
+            return self._oracle.min_next_hops(u, d)
         row = self.graph.neighbors(u)
         return row[self.dist[row, d] == self.dist[u, d] - 1]
 
@@ -146,6 +226,8 @@ class RoutingTables:
         """Build (or load from the disk cache) the flat next-hop table."""
         if self._nh_indptr is not None:
             return
+        if self.is_lazy:
+            raise self._lazy_error("the flat next-hop table")
         if self._use_cache:
             key = ("next-hop-table", self.graph.content_hash())
             indptr, indices = get_default_cache().memoize(
@@ -203,6 +285,13 @@ class FaultMask:
     to the destination under the stale metric (the simulator bounds the
     resulting non-minimal walks with a hop TTL).
 
+    On oracle-backed (lazy) tables the overlay composes with lazily
+    materialised rows instead of the flat table: candidates come from
+    ``oracle.min_next_hops`` and fallback scans read the destination's
+    distance row through the oracle's bounded LRU.  The oracle always
+    reports *pristine* distances, which is exactly the stale-metric
+    semantics above — the equivalence suite pins the two paths together.
+
     Failure counts per directed edge (not booleans) make independently
     failed links compose with router failures: failing a router increments
     every incident directed edge, so restoring the router cannot resurrect
@@ -210,14 +299,21 @@ class FaultMask:
     """
 
     def __init__(self, tables: RoutingTables) -> None:
-        tables.build_fast_path()
         self.tables = tables
         g = tables.graph
         self._n = tables.n
+        if tables.is_lazy:
+            self._oracle = tables.oracle
+            self._nh_indptr = None
+            self._nh_indices = None
+            self._dist_flat = None
+        else:
+            tables.build_fast_path()
+            self._oracle = None
+            self._nh_indptr = tables._nh_indptr
+            self._nh_indices = tables._nh_indices
+            self._dist_flat = tables.dist_flat
         self._edge_index = tables.edge_index
-        self._nh_indptr = tables._nh_indptr
-        self._nh_indices = tables._nh_indices
-        self._dist_flat = tables.dist_flat
         self._indptr = tables._indptr_list
         self._neighbors: list[list[int]] = [
             g.neighbors(u).tolist() for u in range(self._n)
@@ -303,14 +399,19 @@ class FaultMask:
         so the edge check subsumes the router check.  Empty when the
         minimal set is fully severed.
         """
-        indptr = self._nh_indptr
-        k = u * self._n + d
-        lo = indptr[k]
-        hi = indptr[k + 1]
-        nh = self._nh_indices
         dead = self._dead_edge
         ei = self._edge_index
         base = u * self._n
+        if self._nh_indptr is None:
+            cands = self._oracle.min_next_hops(u, d)
+            return [
+                int(v) for v in cands if not dead[ei[base + int(v)]]
+            ]
+        indptr = self._nh_indptr
+        k = base + d
+        lo = indptr[k]
+        hi = indptr[k + 1]
+        nh = self._nh_indices
         return [
             int(v) for v in nh[lo:hi] if not dead[ei[base + int(v)]]
         ]
@@ -322,11 +423,29 @@ class FaultMask:
         back empty.  Empty iff ``u`` has no live outgoing link at all.
         """
         dead = self._dead_edge
+        if self._dist_flat is None:
+            # Lazy mode: the destination's distance row (undirected, so
+            # row(d)[v] == d(v, d)) through the oracle's bounded LRU —
+            # pristine distances, i.e. exactly the stale metric.
+            dist_row = self._oracle.row(d)
+            eid = self._indptr[u]
+            best = None
+            out: list[int] = []
+            for v in self._neighbors[u]:
+                if not dead[eid]:
+                    d_v = int(dist_row[v])
+                    if best is None or d_v < best:
+                        best = d_v
+                        out = [v]
+                    elif d_v == best:
+                        out.append(v)
+                eid += 1
+            return out
         dist = self._dist_flat
         n = self._n
         eid = self._indptr[u]
         best = None
-        out: list[int] = []
+        out = []
         for v in self._neighbors[u]:
             if not dead[eid]:
                 d_v = int(dist[v * n + d])

@@ -66,6 +66,12 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
                           "packets_per_rank": 8, "buffer_packets": 1,
                           "loss_prob": 0.02, "max_attempts": 2},
         },
+        "scale_cells": (
+            {"name": "LPS(5,23)-sharded2-cayley", "p": 5, "q": 23,
+             "oracle": "cayley", "routing": "minimal", "pattern": "random",
+             "load": 0.3, "concentration": 2, "n_ranks": 4096,
+             "packets_per_rank": 4, "shard_workers": 2},
+        ),
     },
     "small": {
         "scale": "small",
@@ -95,6 +101,20 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
                           "packets_per_rank": 15, "buffer_packets": 1,
                           "loss_prob": 0.02, "max_attempts": 2},
         },
+        # Million-node-regime cells: SpectralFly instances far past the
+        # dense-table wall (LPS(5,47) has 103,776 routers; its n x n
+        # int16 distance matrix alone would be ~21.5 GB), routed through
+        # the on-demand Cayley oracle on the process-sharded engine.
+        "scale_cells": (
+            {"name": "LPS(5,23)-sharded2-cayley", "p": 5, "q": 23,
+             "oracle": "cayley", "routing": "minimal", "pattern": "random",
+             "load": 0.3, "concentration": 2, "n_ranks": 4096,
+             "packets_per_rank": 4, "shard_workers": 2},
+            {"name": "LPS(5,47)-sharded4-cayley", "p": 5, "q": 47,
+             "oracle": "cayley", "routing": "minimal", "pattern": "random",
+             "load": 0.3, "concentration": 2, "n_ranks": 16384,
+             "packets_per_rank": 4, "shard_workers": 4},
+        ),
     },
     "full": {
         "scale": "paper",
@@ -124,6 +144,16 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
                           "packets_per_rank": 15, "buffer_packets": 1,
                           "loss_prob": 0.02, "max_attempts": 2},
         },
+        "scale_cells": (
+            {"name": "LPS(5,47)-sharded4-cayley", "p": 5, "q": 47,
+             "oracle": "cayley", "routing": "minimal", "pattern": "random",
+             "load": 0.3, "concentration": 2, "n_ranks": 65536,
+             "packets_per_rank": 8, "shard_workers": 4},
+            {"name": "LPS(5,47)-sharded4-valiant", "p": 5, "q": 47,
+             "oracle": "cayley", "routing": "valiant", "pattern": "random",
+             "load": 0.3, "concentration": 2, "n_ranks": 65536,
+             "packets_per_rank": 8, "shard_workers": 4},
+        ),
     },
 }
 
@@ -524,6 +554,102 @@ def run_scenarios(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# Scale cells: oracle-routed SpectralFly on the sharded engine
+# ---------------------------------------------------------------------------
+def run_scale_cell(sc: dict[str, Any], seed: int = BENCH_SEED) -> dict[str, Any]:
+    """Time one oracle-backed open-loop cell on the sharded engine.
+
+    These cells exist to keep the million-node path honest: an LPS
+    instance past the dense-table wall is built, routed through the
+    on-demand Cayley oracle (no O(n^2) distance matrix is ever
+    materialised — asserted, not assumed), and run on the process-sharded
+    batched engine.  The timer covers ``net.run()`` only; topology
+    construction and oracle setup (one BFS ball) are reported separately
+    in ``setup_wall_s``.
+    """
+    from repro.experiments.common import build_synthetic_sim
+    from repro.sim import SimConfig
+    from repro.topology import build_lps
+
+    t0 = time.perf_counter()
+    topo = build_lps(sc["p"], sc["q"])
+    cfg = SimConfig(
+        concentration=sc["concentration"],
+        backend="sharded",
+        shard_workers=sc["shard_workers"],
+    )
+    net = build_synthetic_sim(
+        topo,
+        sc["routing"],
+        sc["pattern"],
+        sc["load"],
+        concentration=sc["concentration"],
+        n_ranks=sc["n_ranks"],
+        packets_per_rank=sc["packets_per_rank"],
+        seed=seed,
+        config=cfg,
+        backend="sharded",
+        oracle=sc["oracle"],
+    )
+    setup_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    stats = net.run()
+    wall = time.perf_counter() - t0
+    if net.tables._dist is not None:  # pragma: no cover - the whole point
+        raise RuntimeError(
+            f"scale cell {sc['name']} materialised the dense distance "
+            "matrix; the oracle seam leaked"
+        )
+    summary = stats.summary()
+    delivered = int(summary.get("delivered", 0))
+    return {
+        "name": sc["name"],
+        "topology": topo.name,
+        "routers": topo.n_routers,
+        "routing": sc["routing"],
+        "pattern": sc["pattern"],
+        "load": sc["load"],
+        "backend": "sharded",
+        "shard_workers": sc["shard_workers"],
+        "oracle": sc["oracle"],
+        "n_ranks": sc["n_ranks"],
+        "packets_per_rank": sc["packets_per_rank"],
+        "delivered": delivered,
+        "setup_wall_s": round(setup_wall, 4),
+        "wall_s": round(wall, 4),
+        "packets_per_s": round(delivered / wall, 1) if wall > 0 else 0.0,
+        "mean_latency_ns": round(float(summary.get("mean_latency_ns", 0.0)), 2),
+        "mean_hops": round(float(summary.get("mean_hops", 0.0)), 4),
+        "dense_table_bytes_avoided": int(topo.n_routers) ** 2 * 2,
+    }
+
+
+def run_scale_cells(
+    preset: str, repeats: int = 1, progress=None
+) -> list[dict[str, Any]]:
+    """Run the preset's ``scale_cells`` (best wall over ``repeats``)."""
+    spec = BENCH_PRESETS[preset]
+    cells = spec.get("scale_cells")
+    if not cells:
+        return []
+    rows: list[dict[str, Any]] = []
+    for sc in cells:
+        best: dict[str, Any] | None = None
+        for _ in range(max(1, repeats)):
+            row = run_scale_cell(sc)
+            if best is None or row["wall_s"] < best["wall_s"]:
+                best = row
+        rows.append(best)
+        if progress is not None:
+            progress(
+                f"  {best['name']:>26} ({best['routers']:,} routers): "
+                f"{best['packets_per_s']:>10,.0f} pkt/s "
+                f"({best['wall_s']:.2f}s)"
+            )
+    return rows
+
+
 def summarize_scenarios(rows: list[dict[str, Any]]) -> dict[str, Any]:
     """Per-scenario batched-vs-event speedups (same cell, same seed)."""
     out: dict[str, Any] = {}
@@ -657,6 +783,7 @@ def run_bench(
     scenario_rows = run_scenarios(
         preset, repeats=repeats, progress=progress, backends=backends
     )
+    scale_rows = run_scale_cells(preset, repeats=repeats, progress=progress)
     event_rows = [r for r in rows if r["backend"] == "event"]
     batched_rows = [r for r in rows if r["backend"] == "batched"]
     # The headline summary always says which engine(s) it aggregates:
@@ -668,7 +795,7 @@ def run_bench(
         else ",".join(sorted({r["backend"] for r in rows}))
     )
     result: dict[str, Any] = {
-        "schema": 2,
+        "schema": 3,
         "kind": "repro-sim-perf",
         "preset": preset,
         "seed": BENCH_SEED,
@@ -694,6 +821,8 @@ def run_bench(
         ss = summarize_scenarios(scenario_rows)
         if ss:
             result["summary_scenarios"] = ss
+    if scale_rows:
+        result["scale_cells"] = scale_rows
     if micro:
         if progress is not None:
             progress("  micro benchmarks...")
@@ -728,6 +857,14 @@ def run_bench(
             progress(
                 "== scenarios: "
                 + ", ".join(f"{k} {v:.2f}x" for k, v in ss.items())
+            )
+        if "scale_cells" in result:
+            progress(
+                "== scale: "
+                + ", ".join(
+                    f"{r['name']} {r['packets_per_s']:,.0f} pkt/s"
+                    for r in result["scale_cells"]
+                )
             )
         if "speedup_vs_baseline" in result["summary"]:
             progress(
@@ -803,6 +940,17 @@ def compare_to_committed(
     new_s2 = fresh.get("summary_scenarios", {})
     for key in sorted(set(old_s) & set(new_s2)):
         check(f"scenario {key}", old_s.get(key), new_s2.get(key))
+    # Scale cells (oracle + sharded engine past the dense-table wall) are
+    # matched by name so presets can gain or drop instances without
+    # breaking the check.
+    old_sc = {r["name"]: r for r in committed.get("scale_cells", [])}
+    new_sc = {r["name"]: r for r in fresh.get("scale_cells", [])}
+    for name in sorted(set(old_sc) & set(new_sc)):
+        check(
+            f"scale cell {name} packets/s",
+            old_sc[name].get("packets_per_s"),
+            new_sc[name].get("packets_per_s"),
+        )
     return problems
 
 

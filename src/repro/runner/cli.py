@@ -265,9 +265,25 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.runner.bench import run_bench, run_check
+    from repro.runner.bench import run_bench, run_check, run_scale_cells
 
     _select_cache(args)
+    if args.scale_smoke:
+        # CI's non-gating scale-smoke step: just the smoke preset's
+        # oracle-backed sharded cells (10^4-router SpectralFly, 2 workers),
+        # no JSON written — a fast end-to-end liveness probe of the
+        # million-node path.
+        if args.check:
+            raise SystemExit("--scale-smoke and --check are exclusive")
+        rows = run_scale_cells(
+            args.preset or "smoke",
+            repeats=args.repeats,
+            progress=None if args.quiet else print,
+        )
+        ok = bool(rows) and all(r["delivered"] > 0 for r in rows)
+        if not args.quiet:
+            print("scale-smoke:", "ok" if ok else "FAILED")
+        return 0 if ok else 1
     if args.check:
         # The check re-runs exactly the committed file's cells (its own
         # preset, both engines) — honouring a different preset or backend
@@ -404,6 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-run the committed file's preset and exit nonzero "
                         "if throughput regressed by more than 25%% "
                         "(compares against --out, never overwrites it)")
+    p.add_argument("--scale-smoke", action="store_true",
+                   help="run only the preset's oracle-backed sharded scale "
+                        "cells (default preset: smoke) as a liveness probe; "
+                        "writes no JSON")
     p.add_argument("--baseline", type=float, metavar="PKT_PER_S",
                    help="pre-change packets/s to record and compare against")
     p.add_argument("--baseline-from", metavar="FILE",

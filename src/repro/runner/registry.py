@@ -286,7 +286,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         cell_axes=("patterns", "loads"),
         tags=("figure", "simulation"),
         runtime="~1 min",
-        features=(capabilities.OPEN_LOOP,),
+        features=(capabilities.OPEN_LOOP, capabilities.ADAPTIVE_ROUTING),
     ),
     ExperimentDef(
         name="fig7",
@@ -396,7 +396,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         },
         tags=("extension", "simulation"),
         runtime="~2 min",
-        features=(capabilities.OPEN_LOOP,),
+        features=(capabilities.OPEN_LOOP, capabilities.ADAPTIVE_ROUTING),
     ),
     ExperimentDef(
         name="saturation-congestion",
@@ -431,7 +431,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         tags=("extension", "simulation", "congestion"),
         runtime="~2 min",
         features=(capabilities.OPEN_LOOP, capabilities.FINITE_BUFFERS,
-                  capabilities.LOSSY_LINKS),
+                  capabilities.LOSSY_LINKS, capabilities.ADAPTIVE_ROUTING),
     ),
     ExperimentDef(
         name="resilience-traffic",
@@ -466,7 +466,8 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         cell_axes=("families", "routings"),
         tags=("extension", "simulation", "resilience"),
         runtime="~1 min",
-        features=(capabilities.OPEN_LOOP, capabilities.FAULTS),
+        features=(capabilities.OPEN_LOOP, capabilities.FAULTS,
+                  capabilities.ADAPTIVE_ROUTING),
     ),
     ExperimentDef(
         name="collectives",

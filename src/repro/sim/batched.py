@@ -149,9 +149,9 @@ class BatchedSimulator:
         faults=None,
     ) -> None:
         if config.finite_buffers:
-            capabilities.require("batched", capabilities.FINITE_BUFFERS)
+            capabilities.require(self.backend, capabilities.FINITE_BUFFERS)
         if config.channel is not None:
-            capabilities.require("batched", capabilities.LOSSY_LINKS)
+            capabilities.require(self.backend, capabilities.LOSSY_LINKS)
         if routing.name not in ("minimal", "valiant", "ugal", "ugal-g"):
             raise SimulationError(
                 f"no vectorized implementation of routing {routing.name!r}; "
@@ -169,11 +169,21 @@ class BatchedSimulator:
         self.on_delivery = None
 
         # Numpy views of the flat fast-path tables (lists on small
-        # topologies; the vectorized gathers need ndarrays).
-        nh_indptr, nh_indices = self.tables.next_hop_table()
-        self._nh_indptr = np.asarray(nh_indptr, dtype=np.int64)
-        self._nh_indices = np.asarray(nh_indices, dtype=np.int64)
-        self._dist = self.tables.dist  # (n, n) int16
+        # topologies; the vectorized gathers need ndarrays).  Oracle-backed
+        # tables skip the O(n^2) flat table entirely: minimal picks go
+        # through the oracle's vectorized pick_minimal and UGAL's distance
+        # probes through distance_batch.
+        if self.tables.is_lazy:
+            self._oracle = self.tables.oracle
+            self._nh_indptr = None
+            self._nh_indices = None
+            self._dist = None
+        else:
+            self._oracle = None
+            nh_indptr, nh_indices = self.tables.next_hop_table()
+            self._nh_indptr = np.asarray(nh_indptr, dtype=np.int64)
+            self._nh_indices = np.asarray(nh_indices, dtype=np.int64)
+            self._dist = self.tables.dist  # (n, n) int16
         # Directed-edge id lookup: the flat keys u*n + v are globally sorted
         # (heads ascend, CSR rows are sorted), so one searchsorted resolves
         # a whole batch of (u, v) pairs.
@@ -237,7 +247,7 @@ class BatchedSimulator:
     def send(self, *args, **kwargs):
         # Ad-hoc open-ended send() has no batch analogue; motif DAGs go
         # through run_closed_loop (the vectorized frontier runner) instead.
-        capabilities.require("batched", capabilities.ADHOC_SEND)
+        capabilities.require(self.backend, capabilities.ADHOC_SEND)
 
     def set_fault_schedule(self, schedule) -> None:
         """Attach a :class:`~repro.sim.faults.FaultSchedule` before ``run``.
@@ -259,6 +269,15 @@ class BatchedSimulator:
 
     def _pick_minimal(self, u: np.ndarray, d: np.ndarray) -> np.ndarray:
         """One uniform random minimal next hop per (u, d) pair."""
+        if self._oracle is not None:
+            # Same draw shape as the flat-table path (one uniform per
+            # pair, consumed even at width 1) so the RNG stream — and
+            # therefore the whole run — is bit-identical across backends.
+            r = self.rng.random(len(u))
+            try:
+                return self._oracle.pick_minimal(u, d, r)
+            except ValueError as e:
+                raise SimulationError(str(e)) from None
         k = u * self.n_routers + d
         lo = self._nh_indptr[k]
         width = self._nh_indptr[k + 1] - lo
@@ -313,9 +332,9 @@ class BatchedSimulator:
     # -- the run -------------------------------------------------------------
     def run(self, until: float | None = None, max_events: int | None = None) -> SimStats:
         if until is not None or max_events is not None:
-            capabilities.require("batched", capabilities.PAUSE_RESUME)
+            capabilities.require(self.backend, capabilities.PAUSE_RESUME)
         if self.on_delivery is not None:
-            capabilities.require("batched", capabilities.DELIVERY_CALLBACKS)
+            capabilities.require(self.backend, capabilities.DELIVERY_CALLBACKS)
         n_pkts = self._inject()
         stats = self.stats
         if self._fault_schedule is not None:
@@ -769,10 +788,16 @@ class BatchedSimulator:
                     q_val = qbytes[self._edge_ids(g_cur, val_hop)].astype(
                         np.int64
                     )
-                    h_min = self._dist[g_cur, g_dst].astype(np.int64)
-                    h_val = self._dist[g_cur, g_int].astype(
-                        np.int64
-                    ) + self._dist[g_int, g_dst].astype(np.int64)
+                    if self._dist is None:
+                        h_min = self._oracle.distance_batch(g_cur, g_dst)
+                        h_val = self._oracle.distance_batch(
+                            g_cur, g_int
+                        ) + self._oracle.distance_batch(g_int, g_dst)
+                    else:
+                        h_min = self._dist[g_cur, g_dst].astype(np.int64)
+                        h_val = self._dist[g_cur, g_int].astype(
+                            np.int64
+                        ) + self._dist[g_int, g_dst].astype(np.int64)
                     cost_min = (q_min + size) * h_min
                     cost_val = (q_val + size) * h_val + bias
                 else:  # ugal-g: sampled whole-path queue sums
@@ -860,6 +885,12 @@ class BatchedSimulator:
         any packet of that cycle, the batch analogue of fault events
         sorting below traffic events at equal timestamps).
         """
+        if self.tables.is_lazy:
+            raise SimulationError(
+                "fault schedules on backend='batched' need the dense "
+                "next-hop table; construct RoutingTables without an "
+                "on-demand oracle (or use backend='event')"
+            )
         g = self.topo.graph
         self._mask = self.tables.fault_mask()
         self._edge_head = np.repeat(
@@ -1214,7 +1245,7 @@ class BatchedSimulator:
                 supported_backends=("event",),
             )
         if self.on_delivery is not None:
-            capabilities.require("batched", capabilities.DELIVERY_CALLBACKS)
+            capabilities.require(self.backend, capabilities.DELIVERY_CALLBACKS)
         n_msgs = len(messages)
         stats = self.stats
         self.closed_loop_delivered = 0

@@ -28,7 +28,7 @@ from repro.errors import BackendCapabilityError
 
 #: The registered simulation engines, in preference order (the first entry
 #: is the reference implementation every other backend is pinned against).
-BACKENDS: tuple[str, ...] = ("event", "batched")
+BACKENDS: tuple[str, ...] = ("event", "batched", "sharded")
 
 #: Feature identifiers.  Each is a *scenario family* a simulation run may
 #: need, not an implementation detail: experiments declare which features
@@ -42,6 +42,7 @@ LOSSY_LINKS = "lossy-links"  # per-link loss/jitter channel (sim.channel)
 PAUSE_RESUME = "pause-resume"  # run(until=...) / max_events bounds
 DELIVERY_CALLBACKS = "delivery-callbacks"  # per-packet on_delivery hooks
 ADHOC_SEND = "adhoc-send"  # caller-driven send() outside the motif runner
+ADAPTIVE_ROUTING = "adaptive-routing"  # UGAL-family policies (global queues)
 
 FEATURES: tuple[str, ...] = (
     OPEN_LOOP,
@@ -53,6 +54,7 @@ FEATURES: tuple[str, ...] = (
     PAUSE_RESUME,
     DELIVERY_CALLBACKS,
     ADHOC_SEND,
+    ADAPTIVE_ROUTING,
 )
 
 #: The matrix itself.  The event engine is the reference and supports
@@ -66,8 +68,15 @@ FEATURES: tuple[str, ...] = (
 CAPABILITIES: dict[str, frozenset[str]] = {
     "event": frozenset(FEATURES),
     "batched": frozenset(
-        {OPEN_LOOP, MOTIFS, COLLECTIVES, FAULTS, FINITE_BUFFERS, LOSSY_LINKS}
+        {OPEN_LOOP, MOTIFS, COLLECTIVES, FAULTS, FINITE_BUFFERS,
+         LOSSY_LINKS, ADAPTIVE_ROUTING}
     ),
+    # The process-sharded batched engine (repro.sim.sharded) exists for one
+    # job: open-loop synthetic sweeps at scales where a single cycle loop
+    # is the bottleneck.  Everything stateful-across-shards (fault epochs,
+    # UGAL queue signals — hence no "adaptive-routing" — credit chains,
+    # channel draws) stays on the other backends.
+    "sharded": frozenset({OPEN_LOOP}),
 }
 
 assert tuple(CAPABILITIES) == BACKENDS  # keep the two declarations in sync

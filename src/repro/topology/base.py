@@ -32,6 +32,13 @@ class Topology:
         True when the construction guarantees vertex-transitivity (Cayley
         graphs: LPS; also MMS/SlimFly).  Metrics exploit this (girth from a
         single BFS root).
+    gen_perms:
+        For Cayley constructions, the right-multiplication permutations
+        ``perms[j][v] = v * s_j`` as an ``(n_generators, n)`` array —
+        the group structure the on-demand routing oracles
+        (:mod:`repro.routing.oracles`) translate queries with.  ``None``
+        for non-Cayley families (and for topology pickles that predate the
+        field; the oracle layer recomputes from params in that case).
     """
 
     name: str
@@ -39,6 +46,7 @@ class Topology:
     graph: CSRGraph
     params: dict[str, Any] = field(default_factory=dict)
     vertex_transitive: bool = False
+    gen_perms: Any = None
 
     @property
     def n_routers(self) -> int:

@@ -254,3 +254,80 @@ class TestCompareToCommitted:
         fresh["summary"] = {"backend": "batched", "packets_per_s": 1.0}
         problems = compare_to_committed(committed, fresh)
         assert not any(p.startswith("event packets/s") for p in problems)
+
+
+#: A micro scale cell: the smallest LPS instance, forced through the
+#: oracle + sharded path so unit tests exercise the real machinery.
+_TINY_SCALE = {
+    "name": "LPS(3,5)-sharded2-cayley", "p": 3, "q": 5,
+    "oracle": "cayley", "routing": "minimal", "pattern": "random",
+    "load": 0.3, "concentration": 2, "n_ranks": 64,
+    "packets_per_rank": 2, "shard_workers": 2,
+}
+
+
+class TestScaleCells:
+    def test_run_scale_cell_reports_the_work_done(self):
+        from repro.runner.bench import run_scale_cell
+
+        row = run_scale_cell(_TINY_SCALE)
+        assert row["name"] == _TINY_SCALE["name"]
+        assert row["backend"] == "sharded"
+        assert row["oracle"] == "cayley"
+        assert row["routers"] == 120
+        assert row["delivered"] == 64 * 2
+        assert row["packets_per_s"] > 0
+        assert row["wall_s"] > 0 and row["setup_wall_s"] > 0
+        assert row["dense_table_bytes_avoided"] == 120 * 120 * 2
+
+    def test_run_scale_cells_respects_preset_section(self, monkeypatch):
+        from repro.runner.bench import run_scale_cells
+
+        monkeypatch.setitem(
+            BENCH_PRESETS, "tiny-scale",
+            {**_TINY, "scale_cells": (_TINY_SCALE,)},
+        )
+        lines = []
+        rows = run_scale_cells("tiny-scale", progress=lines.append)
+        assert [r["name"] for r in rows] == [_TINY_SCALE["name"]]
+        assert lines and "pkt/s" in lines[0]
+        # No section -> no rows (the tiny preset has none).
+        monkeypatch.setitem(BENCH_PRESETS, "tiny", _TINY)
+        assert run_scale_cells("tiny") == []
+
+    def test_run_bench_writes_scale_section(self, monkeypatch, tmp_path):
+        monkeypatch.setitem(
+            BENCH_PRESETS, "tiny-scale",
+            {**_TINY, "scale_cells": (_TINY_SCALE,)},
+        )
+        out = tmp_path / "bench.json"
+        run_bench(preset="tiny-scale", out_path=out, micro=False,
+                  progress=None)
+        result = json.loads(out.read_text())
+        assert result["schema"] == 3
+        names = [r["name"] for r in result["scale_cells"]]
+        assert names == [_TINY_SCALE["name"]]
+
+    def test_scale_cell_regression_is_flagged(self):
+        committed = {"scale_cells": [
+            {"name": "LPS(5,23)-sharded2-cayley", "packets_per_s": 40000.0},
+        ]}
+        fresh = {"scale_cells": [
+            {"name": "LPS(5,23)-sharded2-cayley", "packets_per_s": 10000.0},
+        ]}
+        problems = compare_to_committed(committed, fresh)
+        assert any("scale cell" in p for p in problems)
+        # Within tolerance (or faster) passes.
+        fresh["scale_cells"][0]["packets_per_s"] = 38000.0
+        assert compare_to_committed(committed, fresh) == []
+        fresh["scale_cells"][0]["packets_per_s"] = 90000.0
+        assert compare_to_committed(committed, fresh) == []
+
+    def test_presets_with_scale_cells_use_the_sharded_oracle_path(self):
+        for preset in ("smoke", "small", "full"):
+            for sc in BENCH_PRESETS[preset].get("scale_cells", ()):
+                assert sc["oracle"] in ("cayley", "landmark")
+                assert sc["shard_workers"] >= 2
+                # Past the smoke tier the instances sit beyond the dense
+                # wall: the q=23/q=47 LPS cells must never densify.
+                assert sc["q"] >= 23

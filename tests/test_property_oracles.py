@@ -1,0 +1,170 @@
+"""Hypothesis property tests for the algebraic routing oracles.
+
+The Cayley oracle's entire correctness argument is *translation
+invariance*: distances on a Cayley graph are invariant under left
+multiplication, so one BFS ball per canonical source answers every pair.
+These properties probe that argument directly on randomly drawn group
+elements rather than a fixed sample, plus the two cache/bound contracts
+the simulator relies on: LRU eviction never changes an answer, and the
+landmark upper bound is admissible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.routing.oracles import (
+    CayleyOracle,
+    DenseOracle,
+    LandmarkOracle,
+    translator_for,
+)
+from repro.topology import build_canonical_dragonfly, build_lps, build_paley
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def lps():
+    topo = build_lps(3, 5)
+    return topo, translator_for(topo), DenseOracle(topo.graph, use_cache=False)
+
+
+@pytest.fixture(scope="module")
+def paley():
+    topo = build_paley(29)
+    return topo, translator_for(topo), DenseOracle(topo.graph, use_cache=False)
+
+
+@pytest.fixture(scope="module")
+def dragonfly():
+    topo = build_canonical_dragonfly(6)
+    return topo, DenseOracle(topo.graph, use_cache=False)
+
+
+class TestTranslationInvariance:
+    """d(u, v) == d(g*u, g*v) for every group element g — the property
+    that lets CayleyOracle serve any pair from one ball per canonical
+    source."""
+
+    @given(data=st.data())
+    @SETTINGS
+    def test_lps_left_translation_preserves_distance(self, lps, data):
+        topo, tr, dense = lps
+        n = topo.n_routers
+        u = data.draw(st.integers(0, n - 1), label="u")
+        v = data.draw(st.integers(0, n - 1), label="v")
+        g = data.draw(st.integers(0, n - 1), label="g")
+        gu = int(tr.left_translate(g, np.array([u]))[0])
+        gv = int(tr.left_translate(g, np.array([v]))[0])
+        assert dense.distance(u, v) == dense.distance(gu, gv)
+
+    @given(data=st.data())
+    @SETTINGS
+    def test_paley_left_translation_preserves_distance(self, paley, data):
+        topo, tr, dense = paley
+        n = topo.n_routers
+        u = data.draw(st.integers(0, n - 1), label="u")
+        v = data.draw(st.integers(0, n - 1), label="v")
+        g = data.draw(st.integers(0, n - 1), label="g")
+        gu = int(tr.left_translate(g, np.array([u]))[0])
+        gv = int(tr.left_translate(g, np.array([v]))[0])
+        assert dense.distance(u, v) == dense.distance(gu, gv)
+
+    @given(data=st.data())
+    @SETTINGS
+    def test_translate_canonicalises_without_changing_distance(
+        self, lps, data
+    ):
+        """The (canonical_source, image) pair the oracle actually looks up
+        must be at the same distance as the original pair."""
+        topo, tr, dense = lps
+        n = topo.n_routers
+        us = np.array([data.draw(st.integers(0, n - 1), label="u")])
+        ds = np.array([data.draw(st.integers(0, n - 1), label="d")])
+        form, z = tr.translate(us, ds)
+        assert dense.distance(int(us[0]), int(ds[0])) == dense.distance(
+            int(form[0]), int(z[0])
+        )
+
+
+class TestSymmetry:
+    @given(data=st.data())
+    @SETTINGS
+    def test_cayley_distance_is_symmetric(self, lps, data):
+        """Undirected Cayley graphs: d(u,v) == d(v,u) through the oracle
+        (exercises the inverse-word path in the translator)."""
+        topo, tr, _ = lps
+        oracle = CayleyOracle(topo.graph, tr, self_check=False)
+        n = topo.n_routers
+        u = data.draw(st.integers(0, n - 1), label="u")
+        v = data.draw(st.integers(0, n - 1), label="v")
+        assert oracle.distance(u, v) == oracle.distance(v, u)
+
+
+class TestLRUEviction:
+    @given(data=st.data())
+    @SETTINGS
+    def test_eviction_never_changes_answers(self, paley, data):
+        """A row cache of 2 under a random access sequence must answer
+        exactly like an unbounded cache — eviction is a perf knob, never
+        a correctness one."""
+        topo, tr, dense = paley
+        tiny = CayleyOracle(topo.graph, tr, row_cache=2, self_check=False)
+        n = topo.n_routers
+        pairs = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                min_size=8,
+                max_size=24,
+            ),
+            label="access sequence",
+        )
+        for u, v in pairs:
+            assert tiny.distance(u, v) == dense.distance(u, v)
+            if u != v:
+                np.testing.assert_array_equal(
+                    tiny.min_next_hops(u, v), dense.min_next_hops(u, v)
+                )
+        assert len(tiny.cached_row_ids()) <= 2
+
+    @given(data=st.data())
+    @SETTINGS
+    def test_landmark_eviction_never_changes_answers(self, dragonfly, data):
+        topo, dense = dragonfly
+        tiny = LandmarkOracle(topo.graph, landmarks=4, row_cache=2)
+        n = topo.n_routers
+        pairs = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                min_size=8,
+                max_size=24,
+            ),
+            label="access sequence",
+        )
+        for u, v in pairs:
+            assert tiny.distance(u, v) == dense.distance(u, v)
+        assert len(tiny.cached_row_ids()) <= 2
+
+
+class TestLandmarkAdmissibility:
+    @given(data=st.data())
+    @SETTINGS
+    def test_upper_bound_admissible_vs_exact_bfs(self, dragonfly, data):
+        topo, dense = dragonfly
+        lm = LandmarkOracle(topo.graph, landmarks=6)
+        n = topo.n_routers
+        u = data.draw(st.integers(0, n - 1), label="u")
+        v = data.draw(st.integers(0, n - 1), label="v")
+        ub = int(lm.upper_bound(np.array([u]), np.array([v]))[0])
+        exact = dense.distance(u, v)
+        assert ub >= exact
+        # Exact rows are exact regardless of the bound.
+        assert lm.distance(u, v) == exact

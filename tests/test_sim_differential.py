@@ -782,3 +782,102 @@ class TestLossyDifferential:
         assert {c["max_attempts"] for c in cfgs} >= {1, 2, 3}
         assert {c["finite"] for c in cfgs} == {True, False}
         assert {c["kind"] for c in cfgs} == {"exact", "adaptive"}
+
+
+# ---------------------------------------------------------------------------
+# On-demand oracle routing vs the dense tables, on the same backend
+# ---------------------------------------------------------------------------
+# The oracle seam (PR 8) must be *invisible* to the simulation: for the
+# same (topology, policy, backend, seed), swapping the dense distance
+# matrix for a CayleyOracle / LandmarkOracle must leave every delivered
+# packet's latency and hop count bit-identical — the oracles answer
+# min-next-hop sets in the same order and the policies consume the same
+# RNG stream either way.  12 seeded configs: each family under the
+# combos that exercise both engines' oracle branches.
+_ORACLE_KINDS = {
+    "lps": "cayley",
+    "slimfly": "cayley",
+    "paley": "cayley",
+    "dragonfly": "landmark",
+}
+
+_ORACLE_COMBOS = (
+    ("minimal", "event"),
+    ("minimal", "batched"),
+    ("valiant", "batched"),
+)
+
+
+def _oracle_configs():
+    rng = np.random.default_rng(20260807)
+
+    def choice(opts):
+        return opts[int(rng.integers(len(opts)))]
+
+    cfgs = []
+    for family in sorted(_ORACLE_KINDS):
+        for routing, backend in _ORACLE_COMBOS:
+            cfgs.append(
+                {
+                    "family": family,
+                    "oracle": _ORACLE_KINDS[family],
+                    "routing": routing,
+                    "backend": backend,
+                    "pattern": choice(_PATTERNS),
+                    "load": choice((0.3, 0.5, 0.7)),
+                    "concentration": 2,
+                    "packets_per_rank": choice((4, 6)),
+                    "seed": int(rng.integers(10_000)),
+                }
+            )
+    return cfgs
+
+
+def _oracle_id(cfg):
+    return (
+        f"{cfg['family']}-{cfg['oracle']}-{cfg['routing']}-{cfg['backend']}"
+        f"-{cfg['pattern']}-l{cfg['load']}-s{cfg['seed']}"
+    )
+
+
+class TestOracleDifferential:
+    def _run(self, topos, cfg, oracle):
+        topo = topos[cfg["family"]]
+        n_eps = topo.n_routers * cfg["concentration"]
+        n_ranks = min(64, 1 << (n_eps.bit_length() - 1))
+        net = build_synthetic_sim(
+            topo,
+            cfg["routing"],
+            cfg["pattern"],
+            cfg["load"],
+            concentration=cfg["concentration"],
+            n_ranks=n_ranks,
+            packets_per_rank=cfg["packets_per_rank"],
+            seed=cfg["seed"],
+            backend=cfg["backend"],
+            oracle=oracle,
+        )
+        if oracle is not None:
+            assert net.tables.is_lazy
+            assert net.tables._dist is None, "oracle run densified"
+        return net.run()
+
+    @pytest.mark.parametrize("cfg", _shard(_oracle_configs()), ids=_oracle_id)
+    def test_oracle_run_is_bit_identical_to_dense(self, topos, cfg):
+        dense = self._run(topos, cfg, None)
+        lazy = self._run(topos, cfg, cfg["oracle"])
+        assert dense.n_injected > 0, "degenerate sample: nothing ran"
+        assert lazy.n_injected == dense.n_injected
+        assert lazy.latencies_ns == dense.latencies_ns
+        assert lazy.hops == dense.hops
+        assert lazy.t_last_delivery == dense.t_last_delivery
+
+    def test_oracle_sampler_is_stable_and_covers_the_matrix(self):
+        assert _oracle_configs() == _oracle_configs()
+        cfgs = _oracle_configs()
+        assert len(cfgs) == 12
+        assert {c["family"] for c in cfgs} == set(_ORACLE_KINDS)
+        assert {(c["routing"], c["backend"]) for c in cfgs} == set(
+            _ORACLE_COMBOS
+        )
+        assert {c["oracle"] for c in cfgs} == {"cayley", "landmark"}

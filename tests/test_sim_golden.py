@@ -132,6 +132,19 @@ CONGESTION_CELLS = [
 ]
 
 
+#: Oracle corpus cells (schema 5):
+#: (family, oracle, routing, pattern, load, seed).  The same event engine,
+#: but routed through an on-demand oracle instead of the dense distance
+#: matrix (PR 8's scaling seam).  Oracle answers are bit-identical to
+#: dense answers, so these cells pin that the *lazy* path — Cayley ball
+#: lookups on SpectralFly, landmark rows on DragonFly — reproduces the
+#: exact trajectories the dense tables would.
+ORACLE_CELLS = [
+    ("SpectralFly", "cayley", "minimal", "tornado", 0.5, 11),
+    ("DragonFly", "landmark", "valiant", "random", 0.4, 11),
+]
+
+
 def make_motif(kind: str, n_ranks: int):
     """The corpus motif instances (small and fixed, like the cells)."""
     if kind == "fft":
@@ -164,6 +177,11 @@ def fault_cell_id(cell) -> str:
 def collective_cell_id(cell) -> str:
     family, routing, coll, algo, p, seed = cell
     return f"{family}-{routing}-{coll}-{algo}-p{p}-s{seed}"
+
+
+def oracle_cell_id(cell) -> str:
+    family, oracle, routing, pattern, load, seed = cell
+    return f"{family}-{oracle}-{routing}-{pattern}-l{load}-s{seed}"
 
 
 def congestion_cell_id(cell) -> str:
@@ -299,6 +317,32 @@ def collect_congestion_cell(cell) -> dict:
     return out
 
 
+def collect_oracle_cell(cell) -> dict:
+    """Run one oracle-routed open-loop cell on the event engine.
+
+    The run must stay lazy end to end (no dense matrix materialised);
+    the pinned stats are the same :data:`FIELDS` as the dense cells.
+    """
+    family, oracle, routing, pattern, load, seed = cell
+    spec = SIM_CONFIGS["small"]["topologies"][family]
+    net = build_synthetic_sim(
+        spec["build"](),
+        routing,
+        pattern,
+        load,
+        concentration=spec["concentration"],
+        n_ranks=N_RANKS,
+        packets_per_rank=PACKETS_PER_RANK,
+        seed=seed,
+        backend="event",
+        oracle=oracle,
+    )
+    assert net.tables.is_lazy and net.tables._dist is None
+    stats = net.run()
+    assert net.tables._dist is None, "oracle cell densified mid-run"
+    return {field: getattr(stats, field) for field in FIELDS}
+
+
 @pytest.fixture(scope="module")
 def golden():
     assert GOLDEN_PATH.exists(), (
@@ -323,7 +367,10 @@ class TestGoldenCorpus:
         assert list(golden["congestion_cells"]) == [
             congestion_cell_id(c) for c in CONGESTION_CELLS
         ]
-        assert golden["schema"] == 4
+        assert list(golden["oracle_cells"]) == [
+            oracle_cell_id(c) for c in ORACLE_CELLS
+        ]
+        assert golden["schema"] == 5
         assert golden["n_ranks"] == N_RANKS
         assert golden["packets_per_rank"] == PACKETS_PER_RANK
 
@@ -392,6 +439,26 @@ class TestGoldenCorpus:
                 "is intentional, regenerate with scripts/make_golden_sim.py "
                 "and say so in the commit"
             )
+
+    @pytest.mark.parametrize("cell", ORACLE_CELLS, ids=oracle_cell_id)
+    def test_event_oracle_bit_for_bit(self, golden, cell):
+        expected = golden["oracle_cells"][oracle_cell_id(cell)]
+        actual = collect_oracle_cell(cell)
+        for field in FIELDS:
+            assert actual[field] == expected[field], (
+                f"oracle-routed SimStats.{field} drifted in "
+                f"{oracle_cell_id(cell)} — lazy routing must reproduce the "
+                "dense trajectories exactly; if the change is intentional, "
+                "regenerate with scripts/make_golden_sim.py and say so in "
+                "the commit"
+            )
+
+    def test_oracle_cells_cover_both_lazy_kinds(self, golden):
+        assert {c[1] for c in ORACLE_CELLS} == {"cayley", "landmark"}
+        # The cells must have genuinely simulated something.
+        for c in golden["oracle_cells"].values():
+            assert c["n_injected"] > 0
+            assert len(c["latencies_ns"]) == c["n_injected"]
 
     def test_congestion_cells_actually_exercise_the_features(self, golden):
         # A congestion corpus where the channel never drops, never
