@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the experiment service (``repro serve``).
+
+Run from the repo root (CI does): ``PYTHONPATH=src python scripts/service_smoke.py``.
+
+Exercises the full loop against a real HTTP server on an ephemeral port
+and a throwaway artifact store:
+
+1. two overlapping fig3 sweeps — the second's shared cell must stream as
+   a ``cell-result`` with ``from_cache: true``;
+2. eight concurrent submissions, all completing, deduplicating through
+   the shared store;
+3. a table1 run cancelled mid-flight after its first streamed cell —
+   the job ends ``cancelled``, the store holds no tempfiles and no
+   partial entries, and a resubmission reuses the completed cells;
+4. store metrics (hits/misses/evictions/reaped tempfiles) visible in
+   ``GET /status``.
+
+Exit status 0 on success, 1 with a traceback on any failed check.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import tempfile
+import time
+import traceback
+
+from repro.service import ArtifactStore, JobQueue, ServiceClient, make_server
+from repro.service.api import start_in_thread
+from repro.utils.diskcache import set_default_cache
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def wait_for_cell_result(client: ServiceClient, job_id: str, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    since = 0
+    while time.monotonic() < deadline:
+        page = client.events(job_id, since=since, timeout=1.0)
+        for event in page["events"]:
+            since = event["seq"] + 1
+            if event["kind"] == "cell-result":
+                return
+        if page["state"] in ("done", "failed", "cancelled"):
+            raise AssertionError(
+                f"{job_id} reached {page['state']} before any cell-result"
+            )
+    raise AssertionError(f"no cell-result from {job_id} within {timeout}s")
+
+
+def main() -> int:
+    store = ArtifactStore(tempfile.mkdtemp(prefix="repro-smoke-store-"))
+    set_default_cache(store)  # keep topology intermediates hermetic too
+    queue = JobQueue(store, workers=4)
+    server = make_server(queue, port=0)
+    start_in_thread(server)
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+
+    # -- 1. overlapping sweeps deduplicate cell-by-cell ------------------
+    first = client.submit("fig3", overrides={"instances": [[3, 7]]})
+    done = client.wait(first["id"], timeout=300.0)
+    check(done["state"] == "done", f"first sweep ended {done['state']}")
+
+    second = client.submit("fig3", overrides={"instances": [[3, 7], [3, 17]]})
+    events = list(client.stream(second["id"]))
+    check(events[-1]["kind"] == "job-done", f"stream ended with {events[-1]['kind']}")
+    cell_results = [e["data"] for e in events if e["kind"] == "cell-result"]
+    check(len(cell_results) == 2, f"expected 2 streamed cells, saw {len(cell_results)}")
+    check(
+        any(c["from_cache"] for c in cell_results),
+        "second sweep recomputed its shared (3,7) cell",
+    )
+    check(
+        all(c["rows"] for c in cell_results),
+        "a streamed cell-result carried no rows",
+    )
+    print("overlapping sweeps: shared cell served from cache")
+
+    # -- 2. eight concurrent submissions all complete --------------------
+    variants = [[[3, 7]], [[3, 17]], [[3, 7], [3, 17]], [[3, 17], [3, 7]]]
+    hits_before = store.stats()["session_hits"]
+    submitted = [
+        client.submit("fig3", overrides={"instances": variants[i % len(variants)]})
+        for i in range(8)
+    ]
+    for snap in submitted:
+        final = client.wait(snap["id"], timeout=300.0)
+        check(final["state"] == "done", f"{snap['id']} ended {final['state']}")
+    check(
+        store.stats()["session_hits"] > hits_before,
+        "concurrent submissions produced no cache hits",
+    )
+    print("8 concurrent submissions: all done, dedup through shared store")
+
+    # -- 3. cancellation mid-flight leaves a clean store -----------------
+    job = client.submit("table1", force=True)
+    wait_for_cell_result(client, job["id"])
+    client.cancel(job["id"])
+    final = client.wait(job["id"], timeout=300.0)
+    check(final["state"] == "cancelled", f"cancel ended {final['state']}")
+    tmp = list(store.root.glob("**/*.tmp"))
+    check(not tmp, f"cancelled job stranded tempfiles: {tmp}")
+    for path in store.root.glob("*/*.pkl"):
+        with open(path, "rb") as fh:
+            pickle.load(fh)  # raises on a torn/partial entry
+    redo = client.submit("table1")
+    final = client.wait(redo["id"], timeout=300.0)
+    check(final["state"] == "done", f"resubmit ended {final['state']}")
+    report = final["reports"][0]
+    check(
+        report["from_cache"] or report["n_cached_cells"] >= 1,
+        f"resubmit reused no cells: {report}",
+    )
+    print("mid-flight cancel: clean store, completed cells reused")
+
+    # -- 4. store metrics surface through /status ------------------------
+    status = client.status()
+    for key in ("session_hits", "session_misses", "session_evictions",
+                "tmp_files", "hit_rate"):
+        check(key in status["store"], f"/status store metrics missing {key}")
+    check(status["store"]["session_hits"] > 0, "store reports zero hits")
+    print(f"store metrics: {status['store']['session_hits']} hits, "
+          f"{status['store']['session_misses']} misses, "
+          f"hit rate {status['store']['hit_rate']}")
+
+    server.shutdown()
+    server.server_close()
+    queue.shutdown(timeout=30.0)
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except Exception:
+        traceback.print_exc()
+        sys.exit(1)

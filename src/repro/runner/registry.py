@@ -114,6 +114,17 @@ class ExperimentDef:
         """The driver callable itself (for direct/benchmark use)."""
         return resolve_callable(self.fn)
 
+    def accepted_params(self) -> frozenset[str]:
+        """Parameter names the driver's signature accepts.
+
+        Composite experiments forward each part only the overrides its
+        driver takes; the executor unions these sets to reject override
+        keys that *no* part accepts (a silent typo otherwise).
+        """
+        import inspect
+
+        return frozenset(inspect.signature(self.resolve()).parameters)
+
     def spec(self, preset: str = "small", overrides: dict[str, Any] | None = None) -> ExperimentSpec:
         if self.is_composite:
             raise ValueError(f"{self.name} is composite; build specs per part")

@@ -1,0 +1,37 @@
+"""The experiment service: async jobs, streaming results, shared store.
+
+``repro serve`` turns the one-shot ``python -m repro run`` executor into
+a long-lived job system for many overlapping sweeps on one machine:
+
+* :mod:`repro.service.store` — :class:`ArtifactStore`, the
+  content-addressed disk cache promoted to a multi-tenant artifact store
+  (byte budget, LRU eviction, startup tmp reaping, persistent
+  hit/miss/eviction metrics);
+* :mod:`repro.service.jobs` — :class:`Job` lifecycle + per-job event
+  logs, the streaming channel carrying per-cell results;
+* :mod:`repro.service.queue` — :class:`JobQueue`, FIFO jobs across
+  worker threads sharing one store (cell-level dedup across tenants),
+  with eager submit-time validation and cooperative cancellation;
+* :mod:`repro.service.api` — the stdlib HTTP server + client behind the
+  ``serve``/``submit``/``status``/``cancel``/``stream`` CLI verbs.
+
+See ``docs/service.md`` for the job lifecycle, the streaming protocol,
+and the store's eviction/quota semantics.
+"""
+
+from repro.service.api import ServiceClient, ServiceError, make_server
+from repro.service.jobs import Job, JobEvent, JobState
+from repro.service.queue import JobQueue
+from repro.service.store import ArtifactStore, parse_budget
+
+__all__ = [
+    "ArtifactStore",
+    "Job",
+    "JobEvent",
+    "JobQueue",
+    "JobState",
+    "ServiceClient",
+    "ServiceError",
+    "make_server",
+    "parse_budget",
+]

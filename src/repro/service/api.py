@@ -1,0 +1,301 @@
+"""HTTP facade for the experiment service (stdlib only).
+
+The server wraps one :class:`~repro.service.queue.JobQueue` in a
+threaded ``http.server`` speaking JSON:
+
+========================  =====================================================
+``POST /jobs``            submit ``{"experiment", "preset", "overrides",
+                          "force"}`` → job snapshot (201)
+``GET  /jobs``            all job snapshots
+``GET  /jobs/<id>``       one job snapshot
+``POST /jobs/<id>/cancel``request cancellation → snapshot
+``GET  /jobs/<id>/events``long-poll: ``?since=N&timeout=S`` →
+                          ``{"state", "events": [...]}``
+``GET  /jobs/<id>/stream``newline-delimited JSON events from ``?since=N``
+                          until the job is terminal (connection closes)
+``GET  /status``          queue + shared-store metrics (hit rate, evictions,
+                          reaped tempfiles, byte budget)
+========================  =====================================================
+
+Streaming uses plain NDJSON over a ``Connection: close`` response — each
+line is one ``{"seq", "ts", "kind", "data"}`` event, written as it
+happens — so any HTTP client (``curl`` included) can follow a job live.
+:class:`ServiceClient` is the matching urllib client the CLI verbs use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Iterator
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.jobs import detuple, jsonable
+from repro.service.queue import JobQueue
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+
+class ServiceError(RuntimeError):
+    """An HTTP request to the service failed; carries the server message."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _json_bytes(obj: Any) -> bytes:
+    return (json.dumps(jsonable(obj)) + "\n").encode()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    queue: JobQueue  # bound by make_server
+    quiet: bool = True
+
+    # -- plumbing -----------------------------------------------------------
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _send(self, obj: Any, code: int = 200) -> None:
+        body = _json_bytes(obj)
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send({"error": message}, code=code)
+
+    def _job(self, job_id: str):
+        try:
+            return self.queue.get(job_id)
+        except KeyError as exc:
+            self._error(404, str(exc))
+            return None
+
+    # -- GET ----------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        try:
+            if parts == ["status"]:
+                self._send(self.queue.status())
+            elif parts == ["jobs"]:
+                self._send([j.snapshot() for j in self.queue.jobs()])
+            elif len(parts) == 2 and parts[0] == "jobs":
+                job = self._job(parts[1])
+                if job is not None:
+                    self._send(job.snapshot())
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                job = self._job(parts[1])
+                if job is not None:
+                    since = int(query.get("since", 0))
+                    timeout = min(float(query.get("timeout", 0.0)), 30.0)
+                    events = job.events_since(
+                        since, timeout=timeout if timeout > 0 else None
+                    )
+                    self._send(
+                        {
+                            "state": job.state.value,
+                            "events": [e.as_dict() for e in events],
+                        }
+                    )
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "stream":
+                job = self._job(parts[1])
+                if job is not None:
+                    self._stream(job, since=int(query.get("since", 0)))
+            else:
+                self._error(404, f"no such endpoint: GET {url.path}")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 — request isolation
+            try:
+                self._error(500, f"{type(exc).__name__}: {exc}")
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                pass
+
+    def _stream(self, job, since: int = 0) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        seq = since
+        while True:
+            events = job.events_since(seq, timeout=0.5)
+            for event in events:
+                self.wfile.write(_json_bytes(event.as_dict()))
+                seq = event.seq + 1
+            self.wfile.flush()
+            if job.is_terminal and seq >= job.n_events:
+                return
+
+    # -- POST ---------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        parts = [p for p in urlsplit(self.path).path.split("/") if p]
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw or b"{}")
+        except ValueError:
+            self._error(400, "request body is not valid JSON")
+            return
+        try:
+            if parts == ["jobs"]:
+                experiment = body.get("experiment")
+                if not experiment:
+                    self._error(400, "missing 'experiment'")
+                    return
+                job = self.queue.submit(
+                    experiment,
+                    preset=body.get("preset", "small"),
+                    overrides=detuple(body.get("overrides") or {}),
+                    force=bool(body.get("force", False)),
+                )
+                self._send(job.snapshot(), code=201)
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                job = self._job(parts[1])
+                if job is not None:
+                    self._send(self.queue.cancel(job.id).snapshot())
+            else:
+                self._error(404, f"no such endpoint: POST {self.path}")
+        except (KeyError, ValueError) as exc:
+            # Submit-time validation failures (unknown experiment/preset,
+            # bad override) are client errors, not crashes.
+            self._error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 — request isolation
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+
+def make_server(
+    queue: JobQueue,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server; ``port=0`` picks a free one."""
+    handler = type(
+        "BoundServiceHandler", (_Handler,), {"queue": queue, "quiet": quiet}
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def start_in_thread(server: ThreadingHTTPServer) -> threading.Thread:
+    """Run ``serve_forever`` on a daemon thread (tests, embedded use)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return thread
+
+
+# ---------------------------------------------------------------------------
+class ServiceClient:
+    """Thin urllib client for the service API (used by the CLI verbs)."""
+
+    def __init__(self, url: str = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}") -> None:
+        self.url = url.rstrip("/")
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None,
+        timeout: float = 60.0,
+    ) -> Any:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return json.loads(resp.read() or b"null")
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except Exception:  # noqa: BLE001 — error body is best-effort
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+
+    # -- verbs -----------------------------------------------------------
+    def submit(
+        self,
+        experiment: str,
+        preset: str = "small",
+        overrides: dict | None = None,
+        force: bool = False,
+    ) -> dict:
+        return self._request(
+            "POST",
+            "/jobs",
+            {
+                "experiment": experiment,
+                "preset": preset,
+                "overrides": jsonable(overrides or {}),
+                "force": force,
+            },
+        )
+
+    def status(self) -> dict:
+        return self._request("GET", "/status")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def events(self, job_id: str, since: int = 0, timeout: float = 0.0) -> dict:
+        return self._request(
+            "GET",
+            f"/jobs/{job_id}/events?since={since}&timeout={timeout}",
+            timeout=timeout + 30.0,
+        )
+
+    def stream(self, job_id: str, since: int = 0) -> Iterator[dict]:
+        """Yield events as the server emits them, until the job finishes."""
+        req = urllib.request.Request(f"{self.url}/jobs/{job_id}/stream?since={since}")
+        try:
+            resp = urllib.request.urlopen(req)
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except Exception:  # noqa: BLE001
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from None
+        with resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def wait(self, job_id: str, poll_s: float = 0.2, timeout: float = 600.0) -> dict:
+        """Poll until the job reaches a terminal state; returns the snapshot."""
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        while True:
+            snap = self.job(job_id)
+            if snap["state"] in ("done", "failed", "cancelled"):
+                return snap
+            if _time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for {job_id} (state {snap['state']})"
+                )
+            _time.sleep(poll_s)

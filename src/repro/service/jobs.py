@@ -1,0 +1,204 @@
+"""Job objects for the experiment service.
+
+A :class:`Job` is one submitted experiment run — a named registry spec
+plus preset/overrides — with a lifecycle
+(``pending → running → done | failed | cancelled``), a cooperative
+:class:`~repro.runner.executor.CancelToken`, and an append-only event log
+that doubles as the streaming channel: the executor's event sink feeds
+per-cell results into :meth:`Job.emit`, and any number of consumers read
+them back (blocking, from any offset) with :meth:`Job.events_since`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+from repro.runner.executor import CancelToken
+
+
+class JobState(str, Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+def jsonable(obj: Any) -> Any:
+    """Best-effort reduction to JSON-encodable types (numpy included).
+
+    Event payloads carry experiment rows, which mix numpy scalars into
+    plain dicts; the HTTP layer and ``stream`` output need pure JSON.
+    Unknown objects degrade to ``repr`` rather than failing the stream.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [jsonable(x) for x in obj]
+    if isinstance(obj, Enum):
+        return obj.value
+    return repr(obj)
+
+
+def detuple(obj: Any) -> Any:
+    """Recursively turn JSON lists back into tuples.
+
+    Submissions arriving over HTTP decode overrides with lists where the
+    CLI builds tuples; canonical hashing treats them identically, but the
+    registry's one-element wrapping and axis splitting expect tuples, so
+    normalise at the boundary.
+    """
+    if isinstance(obj, (list, tuple)):
+        return tuple(detuple(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: detuple(v) for k, v in obj.items()}
+    return obj
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One entry of a job's append-only event log."""
+
+    seq: int
+    ts: float
+    kind: str
+    data: dict[str, Any]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "ts": self.ts, "kind": self.kind,
+                "data": self.data}
+
+
+class Job:
+    """One submitted experiment run and its streaming event log."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        preset: str = "small",
+        overrides: dict[str, Any] | None = None,
+        jobs: int = 1,
+        force: bool = False,
+    ) -> None:
+        self.id = f"job-{next(Job._ids)}"
+        self.name = name
+        self.preset = preset
+        self.overrides = dict(overrides or {})
+        self.jobs = jobs
+        self.force = force
+        self.state = JobState.PENDING
+        self.error: str | None = None
+        self.reports: list[Any] = []  # RunReport, once done
+        self.cancel_token = CancelToken()
+        self.created = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self._events: list[JobEvent] = []
+        self._cond = threading.Condition()
+
+    # -- events ---------------------------------------------------------
+    def emit(self, kind: str, data: dict[str, Any] | None = None) -> JobEvent:
+        """Append one event and wake every blocked consumer."""
+        with self._cond:
+            event = JobEvent(
+                seq=len(self._events), ts=time.time(), kind=kind,
+                data=jsonable(data or {}),
+            )
+            self._events.append(event)
+            self._cond.notify_all()
+        return event
+
+    def events_since(
+        self, seq: int = 0, timeout: float | None = None
+    ) -> list[JobEvent]:
+        """Events from offset ``seq`` on; optionally block until one exists.
+
+        With a ``timeout``, waits until a new event arrives or the job is
+        terminal (so stream consumers never hang on a finished job).
+        """
+        with self._cond:
+            if timeout is not None:
+                self._cond.wait_for(
+                    lambda: len(self._events) > seq or self.is_terminal,
+                    timeout,
+                )
+            return list(self._events[seq:])
+
+    @property
+    def n_events(self) -> int:
+        with self._cond:
+            return len(self._events)
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def mark_running(self) -> None:
+        with self._cond:
+            self.state = JobState.RUNNING
+            self.started = time.time()
+            self._cond.notify_all()
+
+    def finish(self, state: JobState, error: str | None = None) -> None:
+        with self._cond:
+            self.state = state
+            self.error = error
+            self.finished = time.time()
+            self._cond.notify_all()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; returns whether it is."""
+        with self._cond:
+            self._cond.wait_for(lambda: self.is_terminal, timeout)
+            return self.is_terminal
+
+    # -- reporting --------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe status view (the service's per-job status payload)."""
+        with self._cond:
+            reports = [
+                {
+                    "name": r.name,
+                    "rows": len(r.result.rows),
+                    "seconds": round(r.seconds, 3),
+                    "n_cells": r.n_cells,
+                    "n_cached_cells": r.n_cached_cells,
+                    "from_cache": r.from_cache,
+                }
+                for r in self.reports
+            ]
+            return {
+                "id": self.id,
+                "experiment": self.name,
+                "preset": self.preset,
+                "overrides": jsonable(self.overrides),
+                "state": self.state.value,
+                "error": self.error,
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+                "n_events": len(self._events),
+                "reports": reports,
+            }

@@ -1,0 +1,191 @@
+"""Multi-tenant artifact store: the disk cache with a budget and metrics.
+
+:class:`ArtifactStore` extends :class:`~repro.utils.diskcache.DiskCache`
+into the shared store the experiment service runs many concurrent jobs
+against:
+
+* **byte budget + LRU eviction** — after every ``put`` the store evicts
+  least-recently-used entries (hits refresh recency via ``mtime``) until
+  the on-disk footprint fits ``budget_bytes``;
+* **tmp reaping at startup** — orphaned ``*.tmp`` files stranded by
+  interrupted writers are removed (age-guarded, so a live concurrent
+  writer's tempfile survives);
+* **metrics** — hits/misses/evictions/corrupt-drops/reaped-tmp counters,
+  thread-safe, persisted to ``store_metrics.json`` under the cache root
+  so ``repro cache stats`` and the service's ``/status`` endpoint report
+  totals across service restarts, not just the current session.
+
+Atomicity relies on the base class contract (tempfile + ``os.replace``),
+so several *processes* may share one root; eviction and reaping tolerate
+concurrent unlinks by treating every ``OSError`` as "someone else got
+there first".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.utils.diskcache import DiskCache
+
+#: Sidecar file (directly under the store root, outside the ``<hh>/``
+#: entry directories) accumulating counters across store lifetimes.
+METRICS_FILE = "store_metrics.json"
+
+_COUNTERS = ("hits", "misses", "evictions", "corrupt_dropped", "reaped_tmp")
+
+#: Default grace period before an orphaned tempfile is considered stale.
+DEFAULT_REAP_AGE_S = 3600.0
+
+
+class ArtifactStore(DiskCache):
+    """A :class:`DiskCache` with a byte budget, LRU eviction, and metrics."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        enabled: bool = True,
+        budget_bytes: int | None = None,
+        reap_age_s: float = DEFAULT_REAP_AGE_S,
+    ) -> None:
+        super().__init__(root, enabled=enabled)
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self.evictions = 0
+        self.reaped_tmp = 0
+        self._lock = threading.RLock()
+        self._persisted = self._load_metrics()
+        if enabled:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.reaped_tmp = self.reap_tmp(reap_age_s)
+            if self.budget_bytes is not None:
+                self._evict_to_budget()
+
+    # -- recency / eviction -------------------------------------------------
+    def _note_hit(self, path: Path) -> None:
+        # mtime doubles as the LRU clock: hits refresh it so eviction order
+        # is least-recently-*used*, not least-recently-written.
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    def _note_put(self, path: Path) -> None:
+        if self.budget_bytes is not None:
+            self._evict_to_budget()
+
+    def _evict_to_budget(self) -> int:
+        """Unlink LRU entries until the store fits its budget."""
+        with self._lock:
+            entries: list[tuple[float, int, Path]] = []
+            total = 0
+            for path in self.root.glob("*/*.pkl"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+                total += st.st_size
+            if self.budget_bytes is None or total <= self.budget_bytes:
+                return 0
+            entries.sort(key=lambda e: (e[0], str(e[2])))
+            evicted = 0
+            for _mtime, size, path in entries:
+                if total <= self.budget_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue  # a concurrent tenant evicted it first
+                total -= size
+                evicted += 1
+            self.evictions += evicted
+            return evicted
+
+    # -- thread-safe counters ----------------------------------------------
+    # DiskCache bumps plain ints; under the service many threads share one
+    # store, so guard the read-modify-write with the lock.
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            return super().get(key, default)
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            super().put(key, value)
+
+    # -- metrics ------------------------------------------------------------
+    def _metrics_path(self) -> Path:
+        return self.root / METRICS_FILE
+
+    def _load_metrics(self) -> dict[str, int]:
+        try:
+            data = json.loads(self._metrics_path().read_text())
+            return {k: int(data.get(k, 0)) for k in _COUNTERS}
+        except (OSError, ValueError, TypeError):
+            return dict.fromkeys(_COUNTERS, 0)
+
+    def _session_counters(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corrupt_dropped": self.corrupt_dropped,
+            "reaped_tmp": self.reaped_tmp,
+        }
+
+    def flush_metrics(self) -> dict[str, int]:
+        """Persist accumulated counters (startup totals + this session)."""
+        with self._lock:
+            totals = {
+                k: self._persisted[k] + v
+                for k, v in self._session_counters().items()
+            }
+            path = self._metrics_path()
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(".json.tmp")
+                tmp.write_text(json.dumps(totals, indent=2) + "\n")
+                os.replace(tmp, path)
+            except OSError:
+                pass
+            return totals
+
+    def stats(self) -> dict[str, Any]:
+        """Base cache stats plus budget, eviction, and lifetime counters."""
+        base = super().stats()
+        with self._lock:
+            session = self._session_counters()
+            totals = {k: self._persisted[k] + v for k, v in session.items()}
+            looked_up = totals["hits"] + totals["misses"]
+            base.update(
+                budget_bytes=self.budget_bytes,
+                session_evictions=session["evictions"],
+                session_reaped_tmp=session["reaped_tmp"],
+                total_hits=totals["hits"],
+                total_misses=totals["misses"],
+                total_evictions=totals["evictions"],
+                total_corrupt_dropped=totals["corrupt_dropped"],
+                total_reaped_tmp=totals["reaped_tmp"],
+                hit_rate=round(totals["hits"] / looked_up, 4) if looked_up else None,
+            )
+        return base
+
+def parse_budget(text: str) -> int:
+    """Parse a human byte budget: ``"500000"``, ``"64K"``, ``"256M"``, ``"2G"``."""
+    text = text.strip()
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    scale = 1
+    if text and text[-1].upper() in units:
+        scale = units[text[-1].upper()]
+        text = text[:-1]
+    try:
+        value = int(float(text) * scale)
+    except ValueError:
+        raise ValueError(f"cannot parse byte budget {text!r}") from None
+    if value <= 0:
+        raise ValueError(f"byte budget must be positive, got {value}")
+    return value

@@ -26,6 +26,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Callable
 
@@ -80,6 +81,7 @@ class DiskCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.corrupt_dropped = 0
 
     # -- key handling -------------------------------------------------------
     def key_hash(self, key: Any) -> str:
@@ -90,19 +92,43 @@ class DiskCache:
 
     # -- store API ----------------------------------------------------------
     def get(self, key: Any, default: Any = None) -> Any:
-        """Return the cached value for ``key`` (or ``default`` on a miss)."""
+        """Return the cached value for ``key`` (or ``default`` on a miss).
+
+        A corrupted or truncated entry (a torn write from a crashed
+        process, a pickle from an incompatible class layout) is unlinked
+        on the spot: leaving it on disk would make ``contains`` keep
+        reporting a hit while every lookup re-pays the failed unpickle.
+        Removing it lets the next ``put`` repair the entry.
+        """
         if not self.enabled:
             self.misses += 1
             return default
         path = self._path(self.key_hash(key))
         try:
-            with open(path, "rb") as fh:
+            fh = open(path, "rb")
+        except OSError:
+            self.misses += 1
+            return default
+        try:
+            with fh:
                 value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.corrupt_dropped += 1
             self.misses += 1
             return default
         self.hits += 1
+        self._note_hit(path)
         return value
+
+    def _note_hit(self, path: Path) -> None:
+        """Subclass hook: a lookup just read ``path`` (LRU bookkeeping)."""
+
+    def _note_put(self, path: Path) -> None:
+        """Subclass hook: a value was just stored at ``path`` (eviction)."""
 
     def contains(self, key: Any) -> bool:
         return self.enabled and self._path(self.key_hash(key)).exists()
@@ -124,6 +150,7 @@ class DiskCache:
             except OSError:
                 pass
             raise
+        self._note_put(path)
 
     def memoize(self, key: Any, builder: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building and storing on miss."""
@@ -136,8 +163,9 @@ class DiskCache:
 
     # -- maintenance --------------------------------------------------------
     def stats(self) -> dict[str, Any]:
-        """Entry count / on-disk size / session hit counters."""
+        """Entry count / on-disk size / orphaned tempfiles / session counters."""
         n, size = 0, 0
+        tmp_n, tmp_size = 0, 0
         if self.root.is_dir():
             for path in self.root.glob("*/*.pkl"):
                 n += 1
@@ -145,26 +173,59 @@ class DiskCache:
                     size += path.stat().st_size
                 except OSError:
                     pass
+            # Interrupted put()s leave mkstemp files behind; count them so
+            # the store's real footprint (and the need to reap) is visible.
+            for path in self.root.glob("*/*.tmp"):
+                tmp_n += 1
+                try:
+                    tmp_size += path.stat().st_size
+                except OSError:
+                    pass
         return {
             "root": str(self.root),
             "enabled": self.enabled,
             "entries": n,
             "bytes": size,
+            "tmp_files": tmp_n,
+            "tmp_bytes": tmp_size,
             "session_hits": self.hits,
             "session_misses": self.misses,
+            "session_corrupt_dropped": self.corrupt_dropped,
         }
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry and orphaned tempfile; returns the count."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*/*.pkl"):
+            for pattern in ("*/*.pkl", "*/*.tmp"):
+                for path in self.root.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def reap_tmp(self, min_age_s: float = 3600.0) -> int:
+        """Remove orphaned ``put`` tempfiles at least ``min_age_s`` old.
+
+        An interrupted ``put`` (killed worker, power loss between
+        ``mkstemp`` and ``os.replace``) strands a ``*.tmp`` file that no
+        lookup will ever read.  Stores call this at startup; the age
+        guard keeps a tempfile a *live* concurrent writer is still
+        filling safe from the reaper.  Returns the number removed.
+        """
+        reaped = 0
+        if self.root.is_dir():
+            cutoff = time.time() - min_age_s
+            for path in self.root.glob("*/*.tmp"):
                 try:
-                    path.unlink()
-                    removed += 1
+                    if path.stat().st_mtime <= cutoff:
+                        path.unlink()
+                        reaped += 1
                 except OSError:
                     pass
-        return removed
+        return reaped
 
 
 # ---------------------------------------------------------------------------
@@ -191,4 +252,17 @@ def configure_cache(root: str | os.PathLike | None = None, enabled: bool = True)
     """Replace the process-wide default cache (CLI / worker entry points)."""
     global _default
     _default = DiskCache(root if root is not None else default_cache_dir(), enabled=enabled)
+    return _default
+
+
+def set_default_cache(cache: DiskCache) -> DiskCache:
+    """Install an existing cache instance as the process-wide default.
+
+    The experiment service uses this to make its shared
+    :class:`~repro.service.store.ArtifactStore` the cache every library
+    hot spot (topology construction, routing tables) memoizes through,
+    so concurrent jobs deduplicate intermediates as well as results.
+    """
+    global _default
+    _default = cache
     return _default

@@ -169,3 +169,203 @@ def test_pool_failure_returns_promptly_and_cleans_up(cache):
     assert after >= before
     ok = run_experiment(_OK, preset="small", jobs=1, cache=cache)
     assert ok[0].result.rows
+
+
+# ---------------------------------------------------------------------------
+# Merge semantics: notes and columns across cells.
+
+
+def _notes_cell(families=("a",)):
+    """One row per family; families starting with 's' share one note."""
+    from repro.experiments.common import ExperimentResult
+
+    fam = families[0]
+    note = "" if fam == "quiet" else (
+        "shared note" if fam.startswith("s") else f"note-{fam}"
+    )
+    return ExperimentResult(
+        experiment="notes-sweep", rows=[{"family": fam}], notes=note
+    )
+
+
+_NOTES = ExperimentDef(
+    name="notes-sweep",
+    title="sweep whose cells carry (partly duplicated) notes",
+    fn="test_runner_executor:_notes_cell",
+    presets={"small": {"families": ("a", "s1", "quiet", "s2", "b")}},
+    cell_axes=("families",),
+)
+
+
+def _columns_cell(families=("a",)):
+    """Cells disagree on column order — the merge must refuse to guess."""
+    from repro.experiments.common import ExperimentResult
+
+    fam = families[0]
+    columns = ["family", "x"] if fam == "a" else ["x", "family"]
+    return ExperimentResult(
+        experiment="cols-sweep",
+        rows=[{"family": fam, "x": 1}],
+        columns=columns,
+    )
+
+
+_COLS = ExperimentDef(
+    name="cols-sweep",
+    title="sweep whose cells disagree on columns",
+    fn="test_runner_executor:_columns_cell",
+    presets={"small": {"families": ("a", "b")}},
+    cell_axes=("families",),
+)
+
+
+def test_notes_merged_deduplicated_in_cell_order(cache):
+    # Every cell's notes survive the merge (not just cell 0's), empties
+    # are dropped, duplicates collapse, and cell order is preserved.
+    reports = run_experiment(_NOTES, preset="small", jobs=1, cache=cache)
+    assert reports[0].result.notes == "note-a\nshared note\nnote-b"
+
+
+def test_notes_merge_stable_through_cache(cache):
+    run_experiment(_NOTES, preset="small", jobs=1, cache=cache)
+    rerun = run_experiment(_NOTES, preset="small", jobs=1, cache=cache)
+    assert rerun[0].result.notes == "note-a\nshared note\nnote-b"
+
+
+def test_column_disagreement_raises(cache):
+    with pytest.raises(ValueError, match="column disagreement"):
+        run_experiment(_COLS, preset="small", jobs=1, cache=cache)
+
+
+# ---------------------------------------------------------------------------
+# Composite override forwarding: typos fail loud, valid keys route.
+
+_MINI_COMPOSITE = ExperimentDef(
+    name="mini-composite",
+    title="two cheap fig4 panels under one name",
+    parts=("fig4.design_space", "fig4.feasible_sizes"),
+)
+
+
+def test_composite_rejects_override_no_part_accepts(cache):
+    from repro.errors import ParameterError
+
+    with pytest.raises(ParameterError) as exc_info:
+        run_experiment(
+            _MINI_COMPOSITE, preset="small", overrides={"nope": 1}, cache=cache
+        )
+    message = str(exc_info.value)
+    assert "nope" in message
+    # The error names the parts and the keys that *would* be accepted.
+    assert "fig4.design_space" in message
+    assert "max_pq" in message
+
+
+def test_composite_rejects_before_running_anything(cache):
+    with pytest.raises(Exception):
+        run_experiment(
+            _MINI_COMPOSITE, preset="small", overrides={"nope": 1}, cache=cache
+        )
+    assert _entries(cache) == 0
+
+
+def test_composite_forwards_valid_override_to_accepting_part(cache):
+    # max_pq is a design_space parameter; feasible_sizes must still run.
+    reports = run_experiment(
+        _MINI_COMPOSITE, preset="small", overrides={"max_pq": 20}, cache=cache
+    )
+    assert [r.name.split("[")[0] for r in reports] == [
+        "fig4.design_space",
+        "fig4.feasible_sizes",
+    ]
+    assert all(r.result.rows for r in reports)
+
+
+# ---------------------------------------------------------------------------
+# Cooperative cancellation: stop at cell boundaries, never poison the cache.
+
+
+def _slow_cell(families=("a",), delay=0.05):
+    import time as _time
+
+    from repro.experiments.common import ExperimentResult
+
+    _time.sleep(delay)
+    return ExperimentResult(
+        experiment="slow-sweep", rows=[{"family": families[0]}]
+    )
+
+
+_SLOW = ExperimentDef(
+    name="slow-sweep",
+    title="four cells that each take a beat",
+    fn="test_runner_executor:_slow_cell",
+    presets={"small": {"families": ("a", "b", "c", "d"), "delay": 0.05}},
+    cell_axes=("families",),
+)
+
+
+def _tmp_files(cache):
+    return list(cache.root.glob("**/*.tmp"))
+
+
+def test_precancelled_token_runs_nothing(cache):
+    from repro.errors import JobCancelledError
+    from repro.runner import CancelToken
+
+    token = CancelToken()
+    token.cancel()
+    with pytest.raises(JobCancelledError, match=r"0/4 cells"):
+        run_experiment(_SLOW, preset="small", jobs=1, cache=cache, cancel=token)
+    assert _entries(cache) == 0
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_cancel_mid_run_keeps_completed_cells_only(cache, jobs):
+    from repro.errors import JobCancelledError
+    from repro.runner import CancelToken
+
+    token = CancelToken()
+    kinds = []
+
+    def sink(event):
+        kinds.append(event["type"])
+        if event["type"] == "cell-result":
+            token.cancel()
+
+    with pytest.raises(JobCancelledError) as exc_info:
+        run_experiment(
+            _SLOW, preset="small", jobs=jobs, cache=cache,
+            events=sink, cancel=token,
+        )
+    assert "cells complete" in str(exc_info.value)
+    assert "cell-result" in kinds
+    # The no-poisoning contract: no half-written tempfiles, and every
+    # entry on disk is a complete cell result — so a rerun reuses the
+    # finished cells and computes only the remainder.
+    assert _tmp_files(cache) == []
+    reports = run_experiment(_SLOW, preset="small", jobs=1, cache=cache)
+    assert reports[0].n_cells == 4
+    assert reports[0].n_cached_cells >= 1
+    assert len(reports[0].result.rows) == 4
+
+
+def test_event_sink_sees_cell_lifecycle_and_cache_hits(cache):
+    events = []
+    run_experiment(
+        _SLOW, preset="small", jobs=1, cache=cache, events=events.append
+    )
+    kinds = [e["type"] for e in events]
+    assert kinds == ["cell-start", "cell-result"] * 4
+    first_result = events[1]
+    assert first_result["rows"] == [{"family": "a"}]
+    assert first_result["from_cache"] is False
+    assert first_result["total"] == 4
+
+    # Rerun: per-cell hits stream as cell-result events with from_cache
+    # set — except a full-spec hit, which short-circuits to one event.
+    rerun_events = []
+    run_experiment(
+        _SLOW, preset="small", jobs=1, cache=cache, events=rerun_events.append
+    )
+    assert [e["type"] for e in rerun_events] == ["experiment-cached"]
