@@ -30,6 +30,7 @@ from test_sim_golden import (  # noqa: E402
     N_RANKS,
     ORACLE_CELLS,
     PACKETS_PER_RANK,
+    SEARCHED_CELLS,
     cell_id,
     collect_cell,
     collect_collective_cell,
@@ -37,17 +38,19 @@ from test_sim_golden import (  # noqa: E402
     collect_fault_cell,
     collect_motif_cell,
     collect_oracle_cell,
+    collect_searched_cell,
     collective_cell_id,
     congestion_cell_id,
     fault_cell_id,
     motif_cell_id,
     oracle_cell_id,
+    searched_cell_id,
 )
 
 
 def main() -> int:
     corpus = {
-        "schema": 5,
+        "schema": 6,
         "kind": "repro-sim-golden",
         "backend": "event",
         "n_ranks": N_RANKS,
@@ -58,6 +61,7 @@ def main() -> int:
         "collective_cells": {},
         "congestion_cells": {},
         "oracle_cells": {},
+        "searched_cells": {},
     }
     for cell in CELLS:
         name = cell_id(cell)
@@ -83,6 +87,10 @@ def main() -> int:
         name = oracle_cell_id(cell)
         print(f"  oracle {name}...")
         corpus["oracle_cells"][name] = collect_oracle_cell(cell)
+    for cell in SEARCHED_CELLS:
+        name = searched_cell_id(cell)
+        print(f"  searched {name}...")
+        corpus["searched_cells"][name] = collect_searched_cell(cell)
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(corpus, indent=1) + "\n")
     n_lat = sum(len(c["latencies_ns"]) for c in corpus["cells"].values())
@@ -92,7 +100,8 @@ def main() -> int:
         f"{len(FAULT_CELLS)} faulted cells, "
         f"{len(COLLECTIVE_CELLS)} collective cells, "
         f"{len(CONGESTION_CELLS)} congested cells, "
-        f"{len(ORACLE_CELLS)} oracle cells)"
+        f"{len(ORACLE_CELLS)} oracle cells, "
+        f"{len(SEARCHED_CELLS)} searched cells)"
     )
     return 0
 

@@ -153,6 +153,7 @@ def build_synthetic_sim(
         cfg.concentration = concentration
     backend = backend if backend is not None else cfg.backend
     capabilities.require(backend, capabilities.OPEN_LOOP)
+    capabilities.require_routing(backend, routing_name)
     if faults is not None:
         capabilities.require(backend, capabilities.FAULTS)
     if cfg.finite_buffers:

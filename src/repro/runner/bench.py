@@ -37,11 +37,14 @@ from typing import Any
 # ``scenarios`` are the capability-gap cells added when the batched engine
 # learnt motifs and fault schedules: one closed-loop motif run, one
 # mid-run-faulted open-loop run, one chunk-level collective schedule
-# (ring allreduce lowered to a motif DAG), and one congested run (finite
-# credit/backpressure buffers plus a lossy retransmitting channel), each
-# timed per backend (engine run only — workload generation and topology
-# construction stay outside the timer).  Their batched-vs-event speedups
-# land in ``summary_scenarios``.
+# (ring allreduce lowered to a motif DAG), one congested run (finite
+# credit/backpressure buffers plus a lossy retransmitting channel), and
+# one searched-topology open-loop run (an edge-swap-annealed Jellyfish —
+# no algebraic structure, so it keeps the routing hot path honest on
+# irregular instances; see docs/search.md), each timed per backend
+# (engine run only — workload generation, topology construction, and the
+# spectral search itself stay outside the timer).  Their batched-vs-event
+# speedups land in ``summary_scenarios``.
 BENCH_PRESETS: dict[str, dict[str, Any]] = {
     "smoke": {
         "scale": "small",
@@ -65,6 +68,10 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
                           "pattern": "random", "load": 0.55, "n_ranks": 256,
                           "packets_per_rank": 8, "buffer_packets": 1,
                           "loss_prob": 0.02, "max_attempts": 2},
+            "searched": {"n_routers": 48, "radix": 4, "budget": 40,
+                         "routing": "ugal", "pattern": "random",
+                         "load": 0.5, "concentration": 2, "n_ranks": 64,
+                         "packets_per_rank": 8},
         },
         "scale_cells": (
             {"name": "LPS(5,23)-sharded2-cayley", "p": 5, "q": 23,
@@ -100,6 +107,10 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
                           "pattern": "random", "load": 0.55, "n_ranks": 512,
                           "packets_per_rank": 15, "buffer_packets": 1,
                           "loss_prob": 0.02, "max_attempts": 2},
+            "searched": {"n_routers": 98, "radix": 6, "budget": 120,
+                         "routing": "ugal", "pattern": "random",
+                         "load": 0.5, "concentration": 2, "n_ranks": 128,
+                         "packets_per_rank": 12},
         },
         # Million-node-regime cells: SpectralFly instances far past the
         # dense-table wall (LPS(5,47) has 103,776 routers; its n x n
@@ -143,6 +154,10 @@ BENCH_PRESETS: dict[str, dict[str, Any]] = {
                           "pattern": "random", "load": 0.55, "n_ranks": 8192,
                           "packets_per_rank": 15, "buffer_packets": 1,
                           "loss_prob": 0.02, "max_attempts": 2},
+            "searched": {"n_routers": 512, "radix": 8, "budget": 300,
+                         "routing": "ugal", "pattern": "random",
+                         "load": 0.5, "concentration": 4, "n_ranks": 2048,
+                         "packets_per_rank": 15},
         },
         "scale_cells": (
             {"name": "LPS(5,47)-sharded4-cayley", "p": 5, "q": 47,
@@ -493,7 +508,7 @@ def run_scenarios(
     backends: tuple[str, ...] | None = None,
 ) -> list[dict[str, Any]]:
     """Run the preset's scenario cells (motif, collective, faulted,
-    congested) per backend."""
+    congested, searched) per backend."""
     from repro.topology import SIM_CONFIGS
 
     spec = BENCH_PRESETS[preset]
@@ -505,9 +520,21 @@ def run_scenarios(
         backends = spec.get("backends", ("event",))
     rows: list[dict[str, Any]] = []
     for kind, sc in scenarios.items():
-        topo_spec = cfg["topologies"][sc["topology"]]
-        topo = topo_spec["build"]()
-        conc = topo_spec["concentration"]
+        if kind == "searched":
+            # The spectral search runs once, outside every timer — the
+            # cell measures the engines on its irregular output, not the
+            # search itself.
+            from repro.topology import swap_searched_topology
+
+            topo = swap_searched_topology(
+                sc["n_routers"], sc["radix"], budget=sc["budget"],
+                seed=BENCH_SEED,
+            )
+            conc = sc["concentration"]
+        else:
+            topo_spec = cfg["topologies"][sc["topology"]]
+            topo = topo_spec["build"]()
+            conc = topo_spec["concentration"]
         for backend in backends:
             best: dict[str, Any] | None = None
             for _ in range(max(1, repeats)):
@@ -522,6 +549,14 @@ def run_scenarios(
                         sc["algorithm"], conc, n_ranks=sc["n_ranks"],
                         total_bytes=sc["total_bytes"], backend=backend,
                     )
+                elif kind == "searched":
+                    row = run_cell(
+                        topo, sc["routing"], sc["pattern"], sc["load"],
+                        concentration=conc, n_ranks=sc["n_ranks"],
+                        packets_per_rank=sc["packets_per_rank"],
+                        backend=backend,
+                    )
+                    row["workload"] = f"searched:b{sc['budget']}"
                 elif kind == "congested":
                     row = run_congested_cell(
                         topo, sc["routing"], sc["pattern"], sc["load"],

@@ -517,6 +517,48 @@ EXPERIMENTS: dict[str, ExperimentDef] = _exp(
         features=(capabilities.MOTIFS, capabilities.COLLECTIVES),
     ),
     ExperimentDef(
+        name="spectral-search",
+        title="Spectral design-space search — edge-swap annealing + 2-lifts vs the catalog",
+        fn="repro.experiments.spectral_search:run",
+        presets={
+            "small": {
+                "seed_families": ("jellyfish", "paley"),
+                "radixes": (4, 6),
+                "budgets": (80, 200),
+                "n_routers": 44,
+                "schedule": "anneal",
+                "restarts": 2,
+                "passes": 2,
+                "routing": "minimal",
+                "load": 0.5,
+                "packets_per_rank": 6,
+                # Candidates run through the same engines as fig6
+                # (--set backend=batched works; docs/search.md).
+                "backend": "event",
+            },
+            "full": {
+                "seed_families": ("jellyfish", "paley", "lps", "slimfly"),
+                "radixes": (4, 6, 7, 14),
+                "budgets": (200, 500, 1000),
+                "n_routers": 64,
+                "schedule": "anneal",
+                "restarts": 3,
+                "passes": 2,
+                "routing": "minimal",
+                "load": 0.5,
+                "packets_per_rank": 10,
+                "backend": "event",
+            },
+        },
+        # Every (seed_family, radix, budget) combination is an independent
+        # search; infeasible pairs are skipped inside their cell, keeping
+        # the cross product rectangular for the executor/service.
+        cell_axes=("seed_families", "radixes", "budgets"),
+        tags=("extension", "search", "spectral", "simulation"),
+        runtime="~1 min",
+        features=(capabilities.OPEN_LOOP,),
+    ),
+    ExperimentDef(
         name="contention",
         title="Inter-job contention — the discrepancy-property claim",
         fn="repro.experiments.contention:run",

@@ -1,0 +1,53 @@
+"""Spectral design-space search: generate topologies, don't just catalog them.
+
+The paper's constructions (LPS, MMS/SlimFly, Paley bundles) are fixed
+algebraic families — each radix admits only a sparse lattice of sizes.
+This package searches the design space *between* those lattice points,
+using the spectral machinery of :mod:`repro.spectral` as the fitness
+function:
+
+* :mod:`repro.search.swap` — degree-preserving double-edge-swap local
+  search (hill-climbing or simulated annealing) that refines a random
+  regular seed (Jellyfish) toward the Ramanujan bound, after Donetti
+  et al.'s entangled networks.
+* :mod:`repro.search.lift` — the 2-lift move of Marcus–Spielman–
+  Srivastava: double any topology to ``2n`` vertices at equal degree by
+  searching edge signings for a small signed-adjacency spectral radius.
+* :mod:`repro.search.schedules` — deterministic acceptance schedules
+  shared by the local search.
+
+Everything is seeded and bit-deterministic: the same ``(seed, budget,
+schedule)`` triple reproduces the same trajectory, candidate edge list,
+and fitness curve on every run (pinned by ``tests/test_search.py`` and
+the golden corpus).  Candidates are wrapped as
+:class:`repro.topology.searched.SearchedTopology` and flow unchanged
+into routing tables, both simulator engines, and the figure pipelines.
+"""
+
+from repro.search.lift import (
+    LiftResult,
+    search_signing,
+    signed_adjacency_extreme,
+    two_lift,
+)
+from repro.search.schedules import Annealing, HillClimb, make_schedule
+from repro.search.swap import (
+    OBJECTIVES,
+    SwapSearchResult,
+    edge_swap_search,
+    replay_swaps,
+)
+
+__all__ = [
+    "Annealing",
+    "HillClimb",
+    "LiftResult",
+    "OBJECTIVES",
+    "SwapSearchResult",
+    "edge_swap_search",
+    "make_schedule",
+    "replay_swaps",
+    "search_signing",
+    "signed_adjacency_extreme",
+    "two_lift",
+]

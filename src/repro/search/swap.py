@@ -1,0 +1,250 @@
+"""Degree-preserving double-edge-swap local search over regular graphs.
+
+The move (Donetti et al., PAPERS.md): pick two edges ``(u,v)`` and
+``(x,y)`` with four distinct endpoints and rewire them to ``(u,x)`` and
+``(v,y)``.  Every vertex keeps its degree, so the search walks the space
+of k-regular simple graphs on n vertices — exactly the design space
+Jellyfish samples uniformly, but steered by a spectral objective instead
+of sampled blindly.
+
+Connectivity is maintained *incrementally*: after the swap, the rewired
+graph ``G'`` is connected iff ``v`` is reachable from ``u`` and ``y`` is
+reachable from ``x`` in ``G'``.  (Any path of ``G`` that used a removed
+edge can be rerouted: a traversal of ``(u,v)`` via a ``u ~> v`` path in
+``G'``, a traversal of ``(x,y)`` via ``x ~> y``; every other edge is
+untouched, so the two targeted reachability checks imply all of ``G``'s
+connectivity survives.  Conversely a disconnected ``G'`` must separate one
+of those pairs, since joining both endpoints of both removed edges
+reconnects everything.)  Two early-exit BFS runs therefore replace a full
+connectivity scan per proposal.
+
+Determinism: one ``numpy`` generator seeded by the caller drives edge
+selection, orientation flips, and annealing acceptance.  The trajectory —
+accepted swap list, fitness curve, candidate edge list — is bit-identical
+for identical ``(seed, budget, schedule)`` (pinned in
+``tests/test_search.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.metrics import is_connected
+from repro.search.schedules import Annealing, HillClimb, make_schedule
+from repro.spectral.eigen import lambda_g, spectral_gap
+from repro.utils.rng import as_rng
+
+#: Search objectives as "higher is better" fitness functions.
+#: ``spectral_gap`` maximises ``k - lambda_2``; ``lambda`` minimises the
+#: paper's lambda(G) (largest-magnitude non-trivial eigenvalue).
+OBJECTIVES: dict[str, Callable[[CSRGraph], float]] = {
+    "spectral_gap": spectral_gap,
+    "lambda": lambda g: -lambda_g(g),
+}
+
+
+@dataclass
+class SwapSearchResult:
+    """Outcome of one :func:`edge_swap_search` run.
+
+    ``graph`` is the best state visited (never worse than the seed, since
+    the seed is the initial state).  ``accepted_swaps`` holds tuples
+    ``(u, v, x, y)`` meaning edges ``(u,v),(x,y)`` were replaced by
+    ``(u,x),(v,y)``; replaying them from the seed with
+    :func:`replay_swaps` reproduces every accepted state.  The
+    ``fitness_curve`` records the *current* fitness after each of the
+    ``budget`` proposals (accepted or not), so curves from identical
+    configurations compare elementwise-equal.
+    """
+
+    graph: CSRGraph
+    best_fitness: float
+    seed_fitness: float
+    objective: str
+    schedule: str
+    budget: int
+    seed: int
+    fitness_curve: np.ndarray
+    accepted_swaps: list[tuple[int, int, int, int]]
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        """Fitness gained over the seed (>= 0 by construction)."""
+        return self.best_fitness - self.seed_fitness
+
+
+def _reaches(adj: list[set[int]], src: int, dst: int) -> bool:
+    """Early-exit DFS: is ``dst`` reachable from ``src``?"""
+    if src == dst:
+        return True
+    seen = {src}
+    stack = [src]
+    while stack:
+        at = stack.pop()
+        for nxt in adj[at]:
+            if nxt == dst:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+def _canon(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+def edge_swap_search(
+    graph: CSRGraph,
+    budget: int,
+    seed: int = 0,
+    schedule: str | HillClimb | Annealing = "anneal",
+    objective: str = "spectral_gap",
+    **schedule_params,
+) -> SwapSearchResult:
+    """Run ``budget`` double-edge-swap proposals from ``graph``.
+
+    ``graph`` must be simple, connected, and have at least two edges.
+    Returns the best state visited together with the full deterministic
+    trajectory (see :class:`SwapSearchResult`).
+    """
+    if budget < 0:
+        raise ParameterError(f"budget must be >= 0, got {budget}")
+    if objective not in OBJECTIVES:
+        raise ParameterError(
+            f"unknown objective {objective!r}; options: {sorted(OBJECTIVES)}"
+        )
+    if graph.num_edges < 2:
+        raise ParameterError("edge-swap search needs at least two edges")
+    if not is_connected(graph):
+        raise ParameterError("edge-swap search requires a connected seed")
+
+    sched = make_schedule(schedule, **schedule_params)
+    fitness = OBJECTIVES[objective]
+    rng = as_rng(seed)
+
+    n = graph.n
+    edges: list[tuple[int, int]] = [
+        (int(u), int(v)) for u, v in graph.edge_array()
+    ]
+    m = len(edges)
+    edge_set = set(edges)
+    adj: list[set[int]] = [set(map(int, graph.neighbors(v))) for v in range(n)]
+
+    cur_f = float(fitness(graph))
+    seed_f = cur_f
+    best_f = cur_f
+    best_edges = list(edges)
+
+    curve = np.empty(budget, dtype=np.float64)
+    accepted_swaps: list[tuple[int, int, int, int]] = []
+    counters = {
+        "proposed": 0,
+        "accepted": 0,
+        "rejected_invalid": 0,
+        "rejected_connectivity": 0,
+        "rejected_fitness": 0,
+    }
+
+    for step in range(budget):
+        counters["proposed"] += 1
+        i = int(rng.integers(m))
+        j = int(rng.integers(m))
+        u, v = edges[i]
+        x, y = edges[j]
+        if rng.random() < 0.5:
+            x, y = y, x
+
+        if i == j or len({u, v, x, y}) < 4 or x in adj[u] or y in adj[v]:
+            counters["rejected_invalid"] += 1
+            curve[step] = cur_f
+            continue
+
+        # Tentatively rewire (u,v),(x,y) -> (u,x),(v,y) in the set views.
+        adj[u].remove(v); adj[v].remove(u)
+        adj[x].remove(y); adj[y].remove(x)
+        adj[u].add(x); adj[x].add(u)
+        adj[v].add(y); adj[y].add(v)
+
+        def rollback() -> None:
+            adj[u].remove(x); adj[x].remove(u)
+            adj[v].remove(y); adj[y].remove(v)
+            adj[u].add(v); adj[v].add(u)
+            adj[x].add(y); adj[y].add(x)
+
+        if not (_reaches(adj, u, v) and _reaches(adj, x, y)):
+            rollback()
+            counters["rejected_connectivity"] += 1
+            curve[step] = cur_f
+            continue
+
+        new_i, new_j = _canon(u, x), _canon(v, y)
+        old_i, old_j = edges[i], edges[j]
+        edges[i], edges[j] = new_i, new_j
+        candidate = CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64))
+        new_f = float(fitness(candidate))
+
+        if sched.accept(new_f - cur_f, step, rng):
+            edge_set.discard(old_i); edge_set.discard(old_j)
+            edge_set.add(new_i); edge_set.add(new_j)
+            cur_f = new_f
+            accepted_swaps.append((u, v, x, y))
+            counters["accepted"] += 1
+            if new_f > best_f:
+                best_f = new_f
+                best_edges = list(edges)
+        else:
+            edges[i], edges[j] = old_i, old_j
+            rollback()
+            counters["rejected_fitness"] += 1
+        curve[step] = cur_f
+
+    best_graph = CSRGraph.from_edges(n, np.asarray(best_edges, dtype=np.int64))
+    return SwapSearchResult(
+        graph=best_graph,
+        best_fitness=best_f,
+        seed_fitness=seed_f,
+        objective=objective,
+        schedule=sched.name,
+        budget=budget,
+        seed=int(seed),
+        fitness_curve=curve,
+        accepted_swaps=accepted_swaps,
+        counters=counters,
+    )
+
+
+def replay_swaps(
+    graph: CSRGraph, swaps: list[tuple[int, int, int, int]]
+) -> Iterator[CSRGraph]:
+    """Yield the graph after each accepted swap, starting from ``graph``.
+
+    Validates applicability of every swap (both removed edges present,
+    neither added edge present), so a corrupted trajectory fails loudly.
+    Used by the property suite to check invariants of *every* accepted
+    state, not just the final candidate.
+    """
+    n = graph.n
+    edge_set = {(int(u), int(v)) for u, v in graph.edge_array()}
+    for u, v, x, y in swaps:
+        if len({u, v, x, y}) < 4:
+            raise ParameterError(
+                f"degenerate swap ({u},{v},{x},{y}): endpoints not distinct"
+            )
+        removed = (_canon(u, v), _canon(x, y))
+        added = (_canon(u, x), _canon(v, y))
+        for e in removed:
+            if e not in edge_set:
+                raise ParameterError(f"swap removes absent edge {e}")
+        for e in added:
+            if e in edge_set:
+                raise ParameterError(f"swap adds existing edge {e}")
+        edge_set.difference_update(removed)
+        edge_set.update(added)
+        yield CSRGraph.from_edges(n, np.asarray(sorted(edge_set), dtype=np.int64))

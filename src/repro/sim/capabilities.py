@@ -138,3 +138,27 @@ def require_all(backend: str, features: tuple[str, ...] | list[str],
     check_backend(backend, context)
     for feature in features:
         require(backend, feature, context)
+
+
+#: Features a routing policy needs from the engine beyond the scenario's
+#: own features.  UGAL-family policies read global queue occupancy on every
+#: routing decision, which the process-sharded engine cannot provide —
+#: before this mapping existed, ``ugal`` on ``sharded`` only failed deep in
+#: the engine constructor; now :func:`require_routing` raises the canonical
+#: error at assembly time, uniformly for every driver.
+ROUTING_FEATURES: dict[str, tuple[str, ...]] = {
+    "minimal": (),
+    "valiant": (),
+    "ugal": (ADAPTIVE_ROUTING,),
+    "ugal-g": (ADAPTIVE_ROUTING,),
+}
+
+
+def require_routing(backend: str, routing: str, context: str = "") -> None:
+    """Raise unless ``backend`` supports routing policy ``routing``.
+
+    Unknown routing names pass through — the routing factory owns that
+    error (with the list of valid policies); this guard only covers the
+    backend/feature axis.
+    """
+    require_all(backend, ROUTING_FEATURES.get(routing, ()), context)

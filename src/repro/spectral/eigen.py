@@ -23,9 +23,22 @@ import scipy.sparse.linalg as spla
 
 from repro.graphs.csr import CSRGraph
 from repro.graphs.metrics import is_bipartite
+from repro.utils.rng import as_rng
 
 _DENSE_THRESHOLD = 600
 _EIG_TOL = 1e-8
+
+
+def _lanczos_v0(n: int) -> np.ndarray:
+    """Deterministic Lanczos start vector.
+
+    ``eigsh`` otherwise seeds its iteration from numpy's *global* RNG,
+    which makes every spectral quantity on graphs above the dense
+    threshold depend on unrelated prior ``np.random`` calls.  A fixed
+    start vector keeps ``lambda_g``/``spectral_gap`` bit-stable, which
+    the search trajectory pins depend on.
+    """
+    return as_rng(0).standard_normal(n)
 
 
 def adjacency_extremes(g: CSRGraph, k_each: int = 4) -> tuple[np.ndarray, np.ndarray]:
@@ -42,10 +55,11 @@ def adjacency_extremes(g: CSRGraph, k_each: int = 4) -> tuple[np.ndarray, np.nda
         return vals[:k_each], vals[-k_each:]
     adj = g.adjacency()
     k_each = min(k_each, n - 2)
+    v0 = _lanczos_v0(n)
     high = np.sort(spla.eigsh(adj, k=k_each, which="LA", return_eigenvectors=False,
-                              tol=_EIG_TOL))
+                              tol=_EIG_TOL, v0=v0))
     low = np.sort(spla.eigsh(adj, k=k_each, which="SA", return_eigenvectors=False,
-                             tol=_EIG_TOL))
+                             tol=_EIG_TOL, v0=v0))
     return low, high
 
 
@@ -105,7 +119,8 @@ def normalized_laplacian_gap(g: CSRGraph) -> float:
         vals = np.linalg.eigvalsh(norm_adj.toarray())
         return float(1.0 - vals[-2])
     high = np.sort(
-        spla.eigsh(norm_adj, k=2, which="LA", return_eigenvectors=False, tol=_EIG_TOL)
+        spla.eigsh(norm_adj, k=2, which="LA", return_eigenvectors=False,
+                   tol=_EIG_TOL, v0=_lanczos_v0(g.n))
     )
     return float(1.0 - high[-2])
 

@@ -14,14 +14,26 @@ from repro.topology.dragonfly import build_canonical_dragonfly, build_dragonfly
 from repro.topology.skywalk import build_skywalk
 from repro.topology.jellyfish import build_jellyfish
 from repro.topology.xpander import build_xpander
+from repro.topology.searched import (
+    SearchedTopology,
+    lifted_topology,
+    swap_searched_topology,
+)
 from repro.topology.catalog import (
+    SEARCH_METHODS,
     SIZE_CLASSES,
     SIM_CONFIGS,
+    build_searched,
     build_size_class,
     feasible_sizes_per_radix,
 )
 
 __all__ = [
+    "SearchedTopology",
+    "SEARCH_METHODS",
+    "build_searched",
+    "swap_searched_topology",
+    "lifted_topology",
     "Topology",
     "build_lps",
     "lps_feasible",

@@ -5,12 +5,18 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.errors import ParameterError
 from repro.nt.primes import is_prime_power, primes_below
 from repro.topology.base import Topology
 from repro.topology.bundlefly import build_bundlefly
 from repro.topology.dragonfly import build_canonical_dragonfly, build_dragonfly
 from repro.topology.lps import build_lps, lps_design_space
 from repro.topology.mms import mms_delta, mms_radix, build_slimfly
+from repro.topology.searched import (
+    SearchedTopology,
+    lifted_topology,
+    swap_searched_topology,
+)
 
 #: Table I — five size classes of {LPS, SlimFly, BundleFly, DragonFly}
 #: instances with matched radix/size (paper Section IV).
@@ -125,7 +131,45 @@ def _build(kind: str, params: dict) -> Topology:
         return build_bundlefly(params["p"], params["s"])
     if kind == "DF":
         return build_canonical_dragonfly(params["a"])
+    if kind == "SEARCHED":
+        params = dict(params)
+        return build_searched(params.pop("method"), **params)
     raise ValueError(f"unknown topology kind {kind}")
+
+
+#: Search moves registered with the catalog (see :mod:`repro.search`).
+SEARCH_METHODS: tuple[str, ...] = ("edge-swap", "two-lift")
+
+
+def build_searched(method: str, **params) -> SearchedTopology:
+    """Build a design-space-search candidate from its recipe.
+
+    ``method="edge-swap"`` forwards to
+    :func:`~repro.topology.searched.swap_searched_topology`
+    (``n_routers, radix, budget, seed, schedule, objective``);
+    ``method="two-lift"`` forwards to
+    :func:`~repro.topology.searched.lifted_topology`, where ``base`` is
+    either a built :class:`Topology` or a ``(kind, params)`` recipe
+    resolved through the catalog (e.g. ``("SF", {"q": 5})``), so searched
+    instances remain reconstructible from plain data.
+    """
+    if method == "edge-swap":
+        return swap_searched_topology(**params)
+    if method == "two-lift":
+        params = dict(params)
+        base = params.pop("base", None)
+        if isinstance(base, (tuple, list)):
+            kind, kind_params = base
+            base = _build(kind, kind_params)
+        if not isinstance(base, Topology):
+            raise ParameterError(
+                "two-lift needs base=<Topology> or base=(kind, params), "
+                f"got {base!r}"
+            )
+        return lifted_topology(base, **params)
+    raise ParameterError(
+        f"unknown search method {method!r}; options: {', '.join(SEARCH_METHODS)}"
+    )
 
 
 def feasible_sizes_per_radix(

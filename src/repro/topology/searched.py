@@ -1,0 +1,129 @@
+"""Searched topologies: candidates discovered by :mod:`repro.search`.
+
+A :class:`SearchedTopology` is an ordinary :class:`~repro.topology.base.
+Topology` (family ``"Searched"``) carrying its full provenance — the
+search method, seed, budget, schedule, and before/after fitness — so any
+discovered candidate can be rebuilt bit-identically from its ``params``
+alone.  Because it *is* a Topology, candidates flow unchanged into
+routing-table construction, both simulator engines, and the fig4/fig6
+experiment pipelines; the routing-oracle layer treats the family as
+generic (dense tables at small sizes, landmark oracles beyond).
+
+Two builders cover the two search moves:
+
+* :func:`swap_searched_topology` — double-edge-swap refinement of a
+  Jellyfish seed at fixed ``(n, radix)``.
+* :func:`lifted_topology` — signing-searched 2-lift of *any* base
+  topology, reaching ``2n`` sizes the algebraic families can't hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ParameterError
+from repro.search.lift import search_signing
+from repro.search.swap import SwapSearchResult, edge_swap_search
+from repro.topology.base import Topology
+from repro.topology.jellyfish import build_jellyfish
+
+
+@dataclass
+class SearchedTopology(Topology):
+    """A topology produced by the spectral design-space search.
+
+    ``params`` holds the complete recipe (method + seeds + budgets);
+    ``provenance`` holds derived facts worth reporting but not needed to
+    rebuild (seed/best fitness, acceptance counters, signing score).
+    """
+
+    provenance: dict[str, Any] | None = None
+
+    def describe(self) -> dict[str, Any]:
+        out = super().describe()
+        out["method"] = self.params.get("method", "?")
+        return out
+
+
+def swap_searched_topology(
+    n_routers: int,
+    radix: int,
+    budget: int = 200,
+    seed: int = 0,
+    schedule: str = "anneal",
+    objective: str = "spectral_gap",
+    seed_topology: Topology | None = None,
+) -> SearchedTopology:
+    """Edge-swap search from a Jellyfish seed at fixed ``(n, radix)``.
+
+    ``seed_topology`` overrides the default ``build_jellyfish(n_routers,
+    radix, seed)`` starting point (it must match ``n_routers``/``radix``).
+    The returned candidate's fitness is never below the seed's.
+    """
+    if seed_topology is None:
+        seed_topology = build_jellyfish(n_routers, radix, seed=seed)
+    if seed_topology.n_routers != n_routers or seed_topology.radix != radix:
+        raise ParameterError(
+            f"seed topology {seed_topology.name} is "
+            f"({seed_topology.n_routers}, {seed_topology.radix}), "
+            f"expected ({n_routers}, {radix})"
+        )
+    result: SwapSearchResult = edge_swap_search(
+        seed_topology.graph,
+        budget=budget,
+        seed=seed,
+        schedule=schedule,
+        objective=objective,
+    )
+    return SearchedTopology(
+        name=f"Searched({n_routers},{radix};swap,b={budget},s={seed})",
+        family="Searched",
+        graph=result.graph,
+        params={
+            "method": "edge-swap",
+            "n": n_routers,
+            "radix": radix,
+            "budget": budget,
+            "seed": seed,
+            "schedule": schedule,
+            "objective": objective,
+            "seed_name": seed_topology.name,
+        },
+        vertex_transitive=False,
+        provenance={
+            "seed_fitness": result.seed_fitness,
+            "best_fitness": result.best_fitness,
+            "accepted": result.counters["accepted"],
+            "proposed": result.counters["proposed"],
+        },
+    )
+
+
+def lifted_topology(
+    base: Topology,
+    seed: int = 0,
+    restarts: int = 3,
+    passes: int = 2,
+) -> SearchedTopology:
+    """Signing-searched 2-lift of ``base`` (``2n`` routers, equal radix)."""
+    result = search_signing(base.graph, seed=seed, restarts=restarts, passes=passes)
+    return SearchedTopology(
+        name=f"Searched(2x{base.name};lift,s={seed})",
+        family="Searched",
+        graph=result.graph,
+        params={
+            "method": "two-lift",
+            "base": base.name,
+            "base_params": dict(base.params),
+            "base_family": base.family,
+            "seed": seed,
+            "restarts": restarts,
+            "passes": passes,
+        },
+        vertex_transitive=False,
+        provenance={
+            "signed_extreme": result.score,
+            "restart_scores": [float(s) for s in result.restart_scores],
+        },
+    )

@@ -27,55 +27,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import complete_graph
 from repro.graphs.metrics import is_connected
+# The lift machinery is shared with the signing *search* subsystem
+# (repro.search.lift) — two_lift and the signed-adjacency spectral radius
+# are re-exported here under their historical names.
+from repro.search.lift import signed_adjacency_extreme as signed_lambda
+from repro.search.lift import two_lift
 from repro.spectral.eigen import lambda_g
 from repro.topology.base import Topology
 from repro.utils.rng import as_rng
 
-
-def two_lift(g: CSRGraph, signs: np.ndarray) -> CSRGraph:
-    """The 2-lift of ``g`` under a +-1 signing of its edges.
-
-    ``signs`` aligns with ``g.edge_array()`` (one per undirected edge).
-    """
-    edges = g.edge_array()
-    if len(signs) != len(edges):
-        raise ParameterError("one sign per undirected edge required")
-    n = g.n
-    u, v = edges[:, 0], edges[:, 1]
-    plus = signs > 0
-    lifted = np.concatenate(
-        [
-            # +1: straight pairs.
-            np.stack([u[plus], v[plus]], axis=1),
-            np.stack([u[plus] + n, v[plus] + n], axis=1),
-            # -1: crossed pairs.
-            np.stack([u[~plus], v[~plus] + n], axis=1),
-            np.stack([u[~plus] + n, v[~plus]], axis=1),
-        ]
-    )
-    return CSRGraph.from_edges(2 * n, lifted)
-
-
-def signed_lambda(g: CSRGraph, signs: np.ndarray) -> float:
-    """Largest |eigenvalue| of the signed adjacency matrix (the 'new'
-    eigenvalues the lift introduces)."""
-    import scipy.sparse as sp
-    import scipy.sparse.linalg as spla
-
-    edges = g.edge_array()
-    data = np.concatenate([signs, signs]).astype(np.float64)
-    rows = np.concatenate([edges[:, 0], edges[:, 1]])
-    cols = np.concatenate([edges[:, 1], edges[:, 0]])
-    mat = sp.csr_matrix((data, (rows, cols)), shape=(g.n, g.n))
-    if g.n <= 400:
-        vals = np.linalg.eigvalsh(mat.toarray())
-        return float(max(abs(vals[0]), abs(vals[-1])))
-    hi = spla.eigsh(mat, k=1, which="LA", return_eigenvectors=False)
-    lo = spla.eigsh(mat, k=1, which="SA", return_eigenvectors=False)
-    return float(max(abs(float(lo[0])), abs(float(hi[0]))))
+__all__ = ["build_xpander", "signed_lambda", "two_lift", "xpander_quality"]
 
 
 def build_xpander(

@@ -3,7 +3,7 @@
 Timing *numbers* are machine noise and are never asserted; what is pinned
 here is the machinery: cells run the work they claim (delivered counts,
 backends, workload labels), the scenario cells (motif, collective,
-faulted, congested) exist per backend, the summaries aggregate what they say they
+faulted, congested, searched) exist per backend, the summaries aggregate what they say they
 aggregate, and
 ``compare_to_committed`` flags exactly the regressions it documents —
 including the new per-scenario speedups.
@@ -54,6 +54,10 @@ _TINY = {
                       "pattern": "random", "load": 0.5, "n_ranks": 16,
                       "packets_per_rank": 3, "buffer_packets": 1,
                       "loss_prob": 0.05, "max_attempts": 2},
+        "searched": {"n_routers": 20, "radix": 4, "budget": 10,
+                     "routing": "minimal", "pattern": "random", "load": 0.5,
+                     "concentration": 2, "n_ranks": 16,
+                     "packets_per_rank": 3},
     },
 }
 
@@ -147,10 +151,19 @@ class TestScenarios:
     def test_run_scenarios_covers_workloads_and_backends(self, tiny_preset):
         rows = run_scenarios(tiny_preset)
         assert {r["workload"].split(":")[0] for r in rows} == {
-            "motif", "faulted", "collective", "congested"
+            "motif", "faulted", "collective", "congested", "searched"
         }
         assert {r["backend"] for r in rows} == {"event", "batched"}
-        assert len(rows) == 8
+        assert len(rows) == 10
+
+    def test_searched_scenario_runs_a_searched_topology(self, tiny_preset):
+        rows = [r for r in run_scenarios(tiny_preset)
+                if r["workload"].startswith("searched:")]
+        assert len(rows) == 2  # one per backend
+        for row in rows:
+            assert row["workload"] == "searched:b10"
+            assert row["topology"].startswith("Searched(")
+            assert row["delivered"] > 0
 
     def test_run_scenarios_empty_without_section(self, monkeypatch):
         monkeypatch.setitem(
@@ -193,6 +206,7 @@ class TestRunBench:
             assert set(ss) == {
                 "motif_speedup_vs_event", "faulted_speedup_vs_event",
                 "collective_speedup_vs_event", "congested_speedup_vs_event",
+                "searched_speedup_vs_event",
             }
 
     def test_unknown_preset_rejected(self):

@@ -881,3 +881,121 @@ class TestOracleDifferential:
             _ORACLE_COMBOS
         )
         assert {c["oracle"] for c in cfgs} == {"cayley", "landmark"}
+
+
+# ---------------------------------------------------------------------------
+# Searched topologies: candidates from the design-space search on both
+# engines (PR: spectral design-space search)
+# ---------------------------------------------------------------------------
+#: The two search moves produce the two searched fixtures: an edge-swap
+#: candidate at (60, 4) and a signing-searched 2-lift of Paley(13) at
+#: (26, 6).  Both are fully determined by their seeds, so the configs
+#: below are as reproducible as the catalog-family ones above.
+_SEARCHED_TOPOS = {
+    "swap": lambda: __import__(
+        "repro.topology.searched", fromlist=["swap_searched_topology"]
+    ).swap_searched_topology(60, 4, budget=80, seed=9),
+    "lift": lambda: __import__(
+        "repro.topology.searched", fromlist=["lifted_topology"]
+    ).lifted_topology(build_paley(13), seed=9, restarts=2, passes=1),
+}
+
+#: Four seeded configs covering both searched fixtures and all four
+#: routing policies.
+SEARCHED_CONFIGS = [
+    {"topo": "swap", "routing": "minimal", "pattern": "random",
+     "load": 0.4, "concentration": 2, "packets_per_rank": 8, "seed": 101},
+    {"topo": "swap", "routing": "ugal", "pattern": "shuffle",
+     "load": 0.5, "concentration": 2, "packets_per_rank": 7, "seed": 102},
+    {"topo": "lift", "routing": "valiant", "pattern": "random",
+     "load": 0.35, "concentration": 2, "packets_per_rank": 8, "seed": 103},
+    {"topo": "lift", "routing": "ugal-g", "pattern": "transpose",
+     "load": 0.45, "concentration": 4, "packets_per_rank": 6, "seed": 104},
+]
+
+#: Relative tolerance per (policy, metric) on searched topologies;
+#: ``delivered`` is always exact.  Same calibration protocol as the other
+#: scenario tables (docs/performance.md, searched-topology section):
+#: roughly 2x the worst deviation observed over a 48-config calibration
+#: grid (both searched fixtures x 4 policies x 6 sampled configs).  The
+#: loose minimal-routing throughput bound is the tail race on the 26-router
+#: lift fixture — makespan is one packet, and these instances are the
+#: smallest the harness runs.
+SEARCHED_TOLERANCES = {
+    "minimal": {"mean_latency_ns": 0.06, "mean_hops": 0.02,
+                "throughput_gbps": 0.30},
+    "valiant": {"mean_latency_ns": 0.12, "mean_hops": 0.08,
+                "throughput_gbps": 0.11},
+    "ugal": {"mean_latency_ns": 0.12, "mean_hops": 0.14,
+             "throughput_gbps": 0.07},
+    "ugal-g": {"mean_latency_ns": 0.05, "mean_hops": 0.02,
+               "throughput_gbps": 0.05},
+}
+
+
+def _searched_id(cfg):
+    return (
+        f"{cfg['topo']}-{cfg['routing']}-{cfg['pattern']}"
+        f"-l{cfg['load']}-c{cfg['concentration']}-s{cfg['seed']}"
+    )
+
+
+@pytest.fixture(scope="module")
+def searched_topos():
+    return {name: build() for name, build in _SEARCHED_TOPOS.items()}
+
+
+class TestSearchedDifferential:
+    """A searched candidate must be an ordinary topology to both engines."""
+
+    def _run(self, searched_topos, cfg, backend):
+        topo = searched_topos[cfg["topo"]]
+        n_eps = topo.n_routers * cfg["concentration"]
+        n_ranks = min(64, 1 << (n_eps.bit_length() - 1))
+        net = build_synthetic_sim(
+            topo,
+            cfg["routing"],
+            cfg["pattern"],
+            cfg["load"],
+            concentration=cfg["concentration"],
+            n_ranks=n_ranks,
+            packets_per_rank=cfg["packets_per_rank"],
+            seed=cfg["seed"],
+            backend=backend,
+        )
+        return net.run()
+
+    @pytest.mark.parametrize("cfg", _shard(SEARCHED_CONFIGS),
+                             ids=_searched_id)
+    def test_batched_matches_event_within_tolerance(self, searched_topos, cfg):
+        ev = self._run(searched_topos, cfg, "event")
+        bt = self._run(searched_topos, cfg, "batched")
+        assert ev.n_injected > 0, "degenerate sample: nothing ran"
+        assert bt.n_injected == ev.n_injected
+        assert bt.t_first_inject == ev.t_first_inject
+
+        se, sb = ev.summary(), bt.summary()
+        assert sb["delivered"] == se["delivered"] == ev.n_injected
+
+        tol = SEARCHED_TOLERANCES[cfg["routing"]]
+        for metric, rel_tol in tol.items():
+            a, b = se[metric], sb[metric]
+            assert a > 0, (metric, a)
+            rel = abs(b - a) / a
+            assert rel <= rel_tol, (
+                f"{metric}: event={a:.2f} batched={b:.2f} "
+                f"rel={rel:.3f} > tol={rel_tol} in {_searched_id(cfg)}"
+            )
+
+    def test_configs_cover_both_moves_and_all_policies(self):
+        assert {c["topo"] for c in SEARCHED_CONFIGS} == {"swap", "lift"}
+        assert {c["routing"] for c in SEARCHED_CONFIGS} == set(_ROUTINGS)
+        assert len(SEARCHED_CONFIGS) == 4
+
+    def test_searched_fixtures_are_reproducible(self, searched_topos):
+        for name, build in _SEARCHED_TOPOS.items():
+            again = build()
+            assert (
+                again.graph.content_hash()
+                == searched_topos[name].graph.content_hash()
+            )

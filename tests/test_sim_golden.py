@@ -144,6 +144,17 @@ ORACLE_CELLS = [
     ("DragonFly", "landmark", "valiant", "random", 0.4, 11),
 ]
 
+#: Searched-topology corpus cells (schema 6):
+#: (n_routers, radix, budget, routing, pattern, load, seed).  The topology
+#: itself is the product of a seeded edge-swap search
+#: (:mod:`repro.search`), so alongside the usual event-engine stats the
+#: cell pins the candidate's graph ``content_hash`` — the search
+#: *trajectory* is part of the pinned behaviour, exactly as the
+#: determinism contract in docs/search.md promises.
+SEARCHED_CELLS = [
+    (48, 4, 60, "minimal", "random", 0.5, 7),
+]
+
 
 def make_motif(kind: str, n_ranks: int):
     """The corpus motif instances (small and fixed, like the cells)."""
@@ -187,6 +198,11 @@ def oracle_cell_id(cell) -> str:
 def congestion_cell_id(cell) -> str:
     family, routing, bufp, loss, attempts, seed = cell
     return f"{family}-{routing}-b{bufp}-p{loss}-a{attempts}-s{seed}"
+
+
+def searched_cell_id(cell) -> str:
+    n, radix, budget, routing, pattern, load, seed = cell
+    return f"searched-n{n}-k{radix}-b{budget}-{routing}-{pattern}-l{load}-s{seed}"
 
 
 def collect_cell(cell) -> dict:
@@ -343,6 +359,31 @@ def collect_oracle_cell(cell) -> dict:
     return {field: getattr(stats, field) for field in FIELDS}
 
 
+def collect_searched_cell(cell) -> dict:
+    """Build a searched topology and run it on the event engine.
+
+    Pins the search output (the candidate's ``content_hash`` plus its
+    seed/best fitness to full float precision) *and* the resulting
+    simulation trajectory, so either a drifted search RNG or a drifted
+    engine fails this cell.
+    """
+    from repro.topology.searched import swap_searched_topology
+
+    n, radix, budget, routing, pattern, load, seed = cell
+    topo = swap_searched_topology(n, radix, budget=budget, seed=seed)
+    net = build_synthetic_sim(
+        topo, routing, pattern, load,
+        concentration=2, n_ranks=N_RANKS,
+        packets_per_rank=PACKETS_PER_RANK, seed=seed, backend="event",
+    )
+    stats = net.run()
+    out = {field: getattr(stats, field) for field in FIELDS}
+    out["graph_hash"] = topo.graph.content_hash()
+    out["seed_fitness"] = topo.provenance["seed_fitness"]
+    out["best_fitness"] = topo.provenance["best_fitness"]
+    return out
+
+
 @pytest.fixture(scope="module")
 def golden():
     assert GOLDEN_PATH.exists(), (
@@ -370,7 +411,10 @@ class TestGoldenCorpus:
         assert list(golden["oracle_cells"]) == [
             oracle_cell_id(c) for c in ORACLE_CELLS
         ]
-        assert golden["schema"] == 5
+        assert list(golden["searched_cells"]) == [
+            searched_cell_id(c) for c in SEARCHED_CELLS
+        ]
+        assert golden["schema"] == 6
         assert golden["n_ranks"] == N_RANKS
         assert golden["packets_per_rank"] == PACKETS_PER_RANK
 
@@ -452,6 +496,27 @@ class TestGoldenCorpus:
                 "regenerate with scripts/make_golden_sim.py and say so in "
                 "the commit"
             )
+
+    @pytest.mark.parametrize("cell", SEARCHED_CELLS, ids=searched_cell_id)
+    def test_event_searched_bit_for_bit(self, golden, cell):
+        expected = golden["searched_cells"][searched_cell_id(cell)]
+        actual = collect_searched_cell(cell)
+        assert set(actual) == set(expected)
+        for key in expected:
+            assert actual[key] == expected[key], (
+                f"searched-topology cell {key!r} drifted in "
+                f"{searched_cell_id(cell)} — the cell pins the search "
+                "trajectory (graph_hash, fitness) AND the simulation; if "
+                "the change is intentional, regenerate with "
+                "scripts/make_golden_sim.py and say so in the commit"
+            )
+
+    def test_searched_cell_actually_searched(self, golden):
+        # A searched cell whose candidate equals its seed pins nothing
+        # about the search; the fitness gain must be strictly positive.
+        for c in golden["searched_cells"].values():
+            assert c["best_fitness"] > c["seed_fitness"]
+            assert c["n_injected"] > 0
 
     def test_oracle_cells_cover_both_lazy_kinds(self, golden):
         assert {c[1] for c in ORACLE_CELLS} == {"cayley", "landmark"}

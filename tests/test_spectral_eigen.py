@@ -119,3 +119,55 @@ class TestLanczosPath:
         lo, hi = adjacency_extremes(g)
         assert hi[-1] == pytest.approx(4.0, abs=1e-5)
         assert lo[0] >= -4.0 - 1e-9
+
+    def test_lanczos_agrees_with_dense_just_above_threshold(self):
+        # The solver switch at _DENSE_THRESHOLD must not be observable:
+        # a graph 4 vertices over the boundary takes the Lanczos path, and
+        # its extremes must match a direct dense solve to _EIG_TOL.
+        from repro.spectral.eigen import _DENSE_THRESHOLD, _EIG_TOL
+
+        g = random_regular_graph(_DENSE_THRESHOLD + 4, 6, seed=3)
+        lo, hi = adjacency_extremes(g)
+        exact = np.linalg.eigvalsh(g.adjacency().toarray())
+        np.testing.assert_allclose(hi, exact[-len(hi):], atol=_EIG_TOL)
+        np.testing.assert_allclose(lo, exact[: len(lo)], atol=_EIG_TOL)
+
+    def test_dense_path_just_below_threshold(self):
+        from repro.spectral.eigen import _DENSE_THRESHOLD
+
+        g = random_regular_graph(_DENSE_THRESHOLD - 2, 6, seed=3)
+        lo, hi = adjacency_extremes(g)
+        exact = np.linalg.eigvalsh(g.adjacency().toarray())
+        np.testing.assert_array_equal(hi, exact[-len(hi):])
+        np.testing.assert_array_equal(lo, exact[: len(lo)])
+
+    def test_lanczos_independent_of_global_rng_state(self):
+        # eigsh seeds its start vector from numpy's global RNG unless a
+        # v0 is supplied; the deterministic v0 makes repeated calls
+        # bit-identical regardless of interleaved np.random draws.
+        from repro.spectral.eigen import _DENSE_THRESHOLD
+
+        g = random_regular_graph(_DENSE_THRESHOLD + 4, 6, seed=5)
+        np.random.seed(11)
+        first = adjacency_extremes(g)
+        np.random.seed(999)
+        np.random.random(1000)
+        second = adjacency_extremes(g)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_lambda_g_stable_under_relabeling(self):
+        # lambda(G) is a graph invariant: relabeling the vertices (which
+        # permutes neighbour rows and changes the Lanczos iteration
+        # order) must not move it past _EIG_TOL, on both solver paths.
+        from repro.graphs.csr import CSRGraph
+        from repro.spectral.eigen import _DENSE_THRESHOLD, _EIG_TOL
+
+        for n, k, seed in ((64, 4, 7), (_DENSE_THRESHOLD + 4, 6, 7)):
+            g = random_regular_graph(n, k, seed=seed)
+            perm = np.random.default_rng(13).permutation(n)
+            edges = perm[g.edge_array()]
+            relabeled = CSRGraph.from_edges(n, edges)
+            assert lambda_g(relabeled) == pytest.approx(
+                lambda_g(g), abs=_EIG_TOL
+            )
